@@ -1,0 +1,63 @@
+// Command visbench regenerates the reproduction's tables and figures
+// (see EXPERIMENTS.md): every experiment can be run individually or as a
+// full suite.
+//
+// Usage:
+//
+//	visbench                 # run the full suite (T1-T4, F1-F6)
+//	visbench -exp T1         # one experiment
+//	visbench -exp F1 -quick  # shrunken sweep (CI-sized)
+//	visbench -seeds 10       # more repetitions per cell
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"luxvis/internal/exp"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "all", "experiment to run (T1-T4, F1-F6, or 'all')")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast pass")
+		seeds   = flag.Int("seeds", 0, "repetitions per cell (0 = experiment default)")
+		epochs  = flag.Int("max-epochs", 0, "per-run epoch cap (0 = default)")
+		svgDir  = flag.String("svg", "", "also write SVG figures (T1, F1, F3) into this directory")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Quick: *quick, Seeds: *seeds, MaxEpochs: *epochs, Out: os.Stdout}
+
+	names := exp.Names()
+	if *expName != "all" {
+		names = strings.Split(*expName, ",")
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		if err := exp.Run(strings.TrimSpace(name), cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "visbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *svgDir != "" {
+		figCfg := cfg
+		figCfg.Out = nil // tables were already printed above
+		paths, err := exp.Figures(figCfg, *svgDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "visbench: figures: %v\n", err)
+			os.Exit(1)
+		}
+		for _, p := range paths {
+			fmt.Printf("figure: %s\n", p)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Command visreplay loads a JSONL event trace recorded by vissim (or
+// any sim run with RecordTrace) and replays it: it validates the stream,
+// prints a per-robot summary, and optionally re-renders the motion as an
+// SVG figure — useful for inspecting a run after the fact without
+// re-simulating it.
+//
+// Usage:
+//
+//	vissim -n 40 -trace run.jsonl
+//	visreplay -in run.jsonl
+//	visreplay -in run.jsonl -svg replay.svg
+//	visreplay -in run.jsonl -verify      # independent safety audit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"luxvis/internal/baseline"
+	"luxvis/internal/circlevis"
+	"luxvis/internal/core"
+	"luxvis/internal/geom"
+	"luxvis/internal/model"
+	"luxvis/internal/sim"
+	"luxvis/internal/svgx"
+	"luxvis/internal/trace"
+	"luxvis/internal/verify"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "JSONL trace file (required)")
+		svgPath = flag.String("svg", "", "render the replayed trajectories to this SVG file")
+		doAudit = flag.Bool("verify", false, "re-derive all safety verdicts from the trace with the independent auditor")
+		width   = flag.Float64("w", 720, "viewport width")
+		height  = flag.Float64("h", 720, "viewport height")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		fmt.Fprintln(os.Stderr, "visreplay: -in is required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*inPath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	header, events, err := trace.ReadJSONL(f)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("trace: %s under %s, n=%d seed=%d epochs=%d events=%d reached=%v\n",
+		header.Algorithm, header.Scheduler, header.N, header.Seed,
+		header.Epochs, header.Events, header.Reached)
+
+	// Validate ordering and reconstruct per-robot paths.
+	paths := make(map[int][]geom.Point)
+	steps := make(map[int]int)
+	looks := make(map[int]int)
+	lastEvent := -1
+	for i, e := range events {
+		if e.Event < lastEvent {
+			fail(fmt.Errorf("event %d out of order (%d after %d)", i, e.Event, lastEvent))
+		}
+		lastEvent = e.Event
+		p := geom.Pt(e.X, e.Y)
+		if !p.IsFinite() {
+			fail(fmt.Errorf("event %d has non-finite position", i))
+		}
+		if e.Robot < 0 || e.Robot >= header.N {
+			fail(fmt.Errorf("event %d names robot %d outside [0,%d)", i, e.Robot, header.N))
+		}
+		switch e.Kind {
+		case "step":
+			steps[e.Robot]++
+			paths[e.Robot] = append(paths[e.Robot], p)
+		case "look":
+			looks[e.Robot]++
+			if len(paths[e.Robot]) == 0 {
+				paths[e.Robot] = append(paths[e.Robot], p)
+			}
+		}
+	}
+
+	// Per-robot summary, ordered by distance travelled.
+	type rowT struct {
+		robot int
+		dist  float64
+		moves int
+	}
+	var rows []rowT
+	for r, path := range paths {
+		d := 0.0
+		for i := 1; i < len(path); i++ {
+			d += path[i].Dist(path[i-1])
+		}
+		rows = append(rows, rowT{robot: r, dist: d, moves: steps[r]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].dist > rows[j].dist })
+	fmt.Printf("robots with recorded motion: %d of %d\n", len(rows), header.N)
+	show := 10
+	if len(rows) < show {
+		show = len(rows)
+	}
+	for _, row := range rows[:show] {
+		fmt.Printf("  robot %-4d dist=%-9.1f steps=%-4d looks=%d\n",
+			row.robot, row.dist, row.moves, looks[row.robot])
+	}
+
+	if *doAudit {
+		if err := runAudit(header, events); err != nil {
+			fail(err)
+		}
+	}
+
+	if *svgPath != "" {
+		out, err := os.Create(*svgPath)
+		if err != nil {
+			fail(err)
+		}
+		defer out.Close()
+		ordered := make([][]geom.Point, 0, len(paths))
+		for r := 0; r < header.N; r++ {
+			if p, ok := paths[r]; ok {
+				ordered = append(ordered, p)
+			}
+		}
+		if err := svgx.RenderTrajectories(out, ordered, nil, *width, *height); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "visreplay: %v\n", err)
+	os.Exit(1)
+}
+
+// runAudit rebuilds a sim.Result from the serialized trace and runs the
+// independent auditor over it. The start configuration is each robot's
+// position at its first Look (robots are stationary until their first
+// move); the palette is resolved from the recorded algorithm name.
+func runAudit(header trace.Header, events []trace.Event) error {
+	var palette []model.Color
+	switch header.Algorithm {
+	case "logvis":
+		palette = core.NewLogVis().Palette()
+	case "seqvis":
+		palette = baseline.NewSeqVis().Palette()
+	case "circlevis":
+		palette = circlevis.NewCircleVis().Palette()
+	default:
+		return fmt.Errorf("unknown algorithm %q in trace header", header.Algorithm)
+	}
+
+	start := make([]geom.Point, header.N)
+	seen := make([]bool, header.N)
+	res := sim.Result{N: header.N}
+	final := make([]geom.Point, header.N)
+	for _, e := range events {
+		p := geom.Pt(e.X, e.Y)
+		if e.Kind == "look" && !seen[e.Robot] {
+			start[e.Robot] = p
+			seen[e.Robot] = true
+		}
+		final[e.Robot] = p
+		res.Trace = append(res.Trace, sim.TraceEvent{
+			Event: e.Event, Robot: e.Robot, Kind: e.Kind, Pos: p,
+			Color: colorByName(e.Color),
+		})
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("robot %d never Looked in the trace; cannot recover its start", i)
+		}
+	}
+	res.Final = final
+
+	rep, err := verify.Audit(start, palette, res)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("audit: events=%d colocations=%d pass-throughs=%d path-crossings=%d palette-violations=%d final-CV=%v clean=%v\n",
+		rep.Events, rep.Colocations, rep.PassThroughs, rep.PathCrossings,
+		rep.PaletteViolations, rep.FinalCV, rep.Clean())
+	for i, p := range rep.Problems {
+		if i >= 10 {
+			fmt.Printf("  ... %d more\n", len(rep.Problems)-10)
+			break
+		}
+		fmt.Println("  ", p)
+	}
+	return nil
+}
+
+// colorByName inverts model.Color.String() for trace deserialization.
+func colorByName(name string) model.Color {
+	for c := model.Color(0); c < model.NumColors; c++ {
+		if c.String() == name {
+			return c
+		}
+	}
+	return model.Off
+}

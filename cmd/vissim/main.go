@@ -1,0 +1,121 @@
+// Command vissim runs one Complete Visibility scenario and reports the
+// outcome; it is the scriptable front end of the simulator.
+//
+// Usage:
+//
+//	vissim -n 64                              # defaults: logvis, async-random, uniform
+//	vissim -n 128 -algo seqvis -sched fsync
+//	vissim -n 40 -family onion -seed 7 -v
+//	vissim -n 32 -concurrent                  # goroutine-per-robot runtime
+//	vissim -n 64 -csv runs.csv                # append a summary row
+//	vissim -n 64 -trace run.jsonl             # record a full event trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"luxvis/internal/baseline"
+	"luxvis/internal/config"
+	"luxvis/internal/core"
+	"luxvis/internal/model"
+	"luxvis/internal/rt"
+	"luxvis/internal/sched"
+	"luxvis/internal/sim"
+	"luxvis/internal/trace"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 32, "number of robots")
+		algoName   = flag.String("algo", "logvis", "algorithm: logvis | seqvis")
+		schedName  = flag.String("sched", "async-random", "scheduler: fsync | ssync | async-random | async-stale")
+		famName    = flag.String("family", "uniform", "initial configuration family")
+		seed       = flag.Int64("seed", 1, "random seed")
+		maxEpochs  = flag.Int("max-epochs", 4096, "epoch cap")
+		nonRigid   = flag.Bool("non-rigid", false, "enable the non-rigid motion adversary")
+		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-robot runtime instead of the event engine")
+		verbose    = flag.Bool("v", false, "print per-violation details")
+		csvPath    = flag.String("csv", "", "append a run-summary CSV row to this file")
+		tracePath  = flag.String("trace", "", "write a JSONL event trace to this file")
+	)
+	flag.Parse()
+
+	var algo model.Algorithm
+	switch *algoName {
+	case "logvis":
+		algo = core.NewLogVis()
+	case "seqvis":
+		algo = baseline.NewSeqVis()
+	default:
+		fmt.Fprintf(os.Stderr, "vissim: unknown algorithm %q\n", *algoName)
+		os.Exit(2)
+	}
+	pts := config.Generate(config.Family(*famName), *n, *seed)
+
+	if *concurrent {
+		res, err := rt.Run(algo, pts, rt.Options{Seed: *seed, MaxWall: 2 * time.Minute})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vissim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("algorithm=%s runtime=goroutines n=%d reached=%v epochs=%d cycles=%d wall=%v\n",
+			*algoName, *n, res.Reached, res.Epochs, res.Cycles, res.Wall.Round(time.Millisecond))
+		if !res.Reached {
+			os.Exit(1)
+		}
+		return
+	}
+
+	opt := sim.DefaultOptions(sched.ByName(*schedName), *seed)
+	opt.MaxEpochs = *maxEpochs
+	opt.NonRigid = *nonRigid
+	opt.RecordTrace = *tracePath != ""
+	res, err := sim.Run(algo, pts, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vissim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("algorithm=%s scheduler=%s family=%s n=%d seed=%d\n",
+		res.Algorithm, res.Scheduler, *famName, res.N, res.Seed)
+	fmt.Printf("reached=%v epochs=%d first-cv-epoch=%d events=%d cycles=%d\n",
+		res.Reached, res.Epochs, res.FirstCVEpoch, res.Events, res.Cycles)
+	fmt.Printf("moves=%d total-dist=%.1f colors=%d collisions=%d path-crossings=%d min-pair-dist=%.4g\n",
+		res.Moves, res.TotalDist, res.ColorsUsed, res.Collisions, res.PathCrossings, res.MinPairDist)
+	if *verbose {
+		for _, v := range res.Violations {
+			fmt.Println("  ", v)
+		}
+	}
+
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vissim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteRunCSV(f, []sim.Result{res}); err != nil {
+			fmt.Fprintf(os.Stderr, "vissim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vissim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteJSONL(f, res); err != nil {
+			fmt.Fprintf(os.Stderr, "vissim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if !res.Reached {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,57 @@
+// Adversary: stress the algorithm with the degenerate and hostile
+// inputs the paper's model allows — a perfectly collinear swarm, a deep
+// onion of nested rings, and the staleness-maximizing asynchronous
+// scheduler that executes every robot's move against a snapshot that is
+// stale by up to N-1 relocations.
+//
+//	go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"luxvis"
+)
+
+func main() {
+	scenarios := []struct {
+		name   string
+		family luxvis.Family
+		sched  luxvis.Scheduler
+	}{
+		{"collinear swarm / random async", luxvis.LineConfig, luxvis.NewAsyncRandom()},
+		{"evenly spaced line / stale adversary", luxvis.LineEven, luxvis.NewAsyncStale()},
+		{"deep onion / stale adversary", luxvis.Onion, luxvis.NewAsyncStale()},
+		{"two far clusters / stale adversary", luxvis.TwoClusters, luxvis.NewAsyncStale()},
+	}
+
+	for _, sc := range scenarios {
+		pts := luxvis.Generate(sc.family, 40, 7)
+		opt := luxvis.DefaultOptions(sc.sched, 7)
+		res, err := luxvis.Run(luxvis.NewLogVis(), pts, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "OK"
+		if !res.Reached {
+			status = "FAILED"
+		}
+		fmt.Printf("%-42s %-6s epochs=%-4d collisions=%d crossings=%d colors=%d\n",
+			sc.name, status, res.Epochs, res.Collisions, res.PathCrossings, res.ColorsUsed)
+	}
+
+	// The non-rigid stress mode on top: the motion adversary may stop
+	// any move partway (at least 30% is guaranteed). The algorithm
+	// re-plans from fresh snapshots every cycle, so truncated moves
+	// cost time, not correctness.
+	pts := luxvis.Generate(luxvis.Uniform, 24, 7)
+	opt := luxvis.DefaultOptions(luxvis.NewAsyncRandom(), 7)
+	opt.NonRigid = true
+	res, err := luxvis.Run(luxvis.NewLogVis(), pts, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-42s %-6v epochs=%-4d collisions=%d\n",
+		"uniform / non-rigid motion", res.Reached, res.Epochs, res.Collisions)
+}

@@ -1,0 +1,80 @@
+// Gallery: render a run of the algorithm as SVG figures — the initial
+// swarm, the motion trajectories, and the terminal strictly convex
+// configuration — for each workload family. The output reproduces the
+// kind of figures robot-swarm papers print.
+//
+//	go run ./examples/gallery          # writes gallery/*.svg
+//	go run ./examples/gallery -dir /tmp/figs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"luxvis"
+	"luxvis/internal/geom"
+	"luxvis/internal/sched"
+	"luxvis/internal/sim"
+	"luxvis/internal/svgx"
+)
+
+func main() {
+	dir := flag.String("dir", "gallery", "output directory for the SVG files")
+	n := flag.Int("n", 40, "number of robots per figure")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, fam := range []luxvis.Family{luxvis.Uniform, luxvis.LineConfig, luxvis.Onion, luxvis.Wedge} {
+		pts := luxvis.Generate(fam, *n, 11)
+
+		opt := sim.DefaultOptions(sched.NewAsyncRandom(), 11)
+		opt.RecordTrace = true
+		res, err := sim.Run(luxvis.NewLogVis(), pts, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Initial configuration.
+		write(filepath.Join(*dir, fmt.Sprintf("%s-start.svg", fam)), func(f *os.File) error {
+			return svgx.RenderConfiguration(f, pts, nil, 640, 640)
+		})
+		// Trajectories: every robot's polyline from start to landing.
+		paths := make([][]geom.Point, *n)
+		for i, p := range pts {
+			paths[i] = []geom.Point{p}
+		}
+		for _, e := range res.Trace {
+			if e.Kind == "step" {
+				paths[e.Robot] = append(paths[e.Robot], e.Pos)
+			}
+		}
+		write(filepath.Join(*dir, fmt.Sprintf("%s-paths.svg", fam)), func(f *os.File) error {
+			return svgx.RenderTrajectories(f, paths, res.FinalColors, 640, 640)
+		})
+		// Terminal configuration, colored by final lights.
+		write(filepath.Join(*dir, fmt.Sprintf("%s-final.svg", fam)), func(f *os.File) error {
+			return svgx.RenderConfiguration(f, res.Final, res.FinalColors, 640, 640)
+		})
+
+		fmt.Printf("%-14s reached=%v epochs=%-4d figures: %s-{start,paths,final}.svg\n",
+			fam, res.Reached, res.Epochs, fam)
+	}
+	fmt.Printf("figures written to %s/\n", *dir)
+}
+
+func write(path string, render func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := render(f); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+// Quickstart: scatter a swarm, run the paper's O(log N) asynchronous
+// Complete Visibility algorithm, and check the claims on the outcome.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"luxvis"
+)
+
+func main() {
+	// 64 robots scattered uniformly; robot 0's light starts Off like
+	// everyone else — robots are anonymous and oblivious.
+	pts := luxvis.Generate(luxvis.Uniform, 64, 2026)
+
+	// Run under the randomized asynchronous scheduler: Look, Compute
+	// and Move phases of different robots interleave arbitrarily and
+	// robots act on stale snapshots.
+	res, err := luxvis.Run(luxvis.NewLogVis(), pts,
+		luxvis.DefaultOptions(luxvis.NewAsyncRandom(), 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Complete Visibility reached: %v\n", res.Reached)
+	fmt.Printf("epochs: %d (an epoch = every robot completed ≥1 Look-Compute-Move cycle)\n", res.Epochs)
+	fmt.Printf("distinct light colors used: %d (the algorithm declares 7)\n", res.ColorsUsed)
+	fmt.Printf("collisions: %d, concurrent path crossings: %d\n", res.Collisions, res.PathCrossings)
+
+	// Verify the goal predicate independently, with exact arithmetic:
+	// every pair of robots sees each other, i.e. no robot lies on the
+	// segment between two others.
+	fmt.Printf("exact Complete Visibility check: %v\n", luxvis.CompleteVisibility(res.Final))
+	fmt.Printf("strictly convex terminal shape:  %v\n", luxvis.StrictlyConvexPosition(res.Final))
+}

@@ -1,0 +1,3 @@
+module luxvis
+
+go 1.22

@@ -1,0 +1,80 @@
+// Package baseline implements SeqVis, the O(N)-epoch asynchronous
+// translation of the semi-synchronous Complete Visibility algorithm that
+// the paper's abstract uses as its comparison point.
+//
+// A semi-synchronous algorithm may move many robots per round because a
+// round is atomic: every mover decides against the same world state. The
+// straightforward way to make such an algorithm safe under asynchrony —
+// where a mover's snapshot can be arbitrarily stale — is mutual
+// exclusion: a robot relocates only when it can see that nobody else is
+// relocating, and ties are broken by a priority rule so at most one robot
+// in any visibility neighbourhood departs at a time. That serialization
+// is exactly what costs Θ(N) epochs and what the paper's O(log N)
+// algorithm eliminates; experiment F1 charts the two growth laws side by
+// side.
+//
+// SeqVis reuses the geometric decisions of core.LogVis (which robot class
+// moves where) and wraps them in the mutual-exclusion discipline, so the
+// comparison isolates the scheduling structure rather than unrelated
+// geometry. The priority rule compares positions lexicographically; this
+// is frame-dependent and stands in for the translation's handshake
+// protocol (see DESIGN.md, substitution log).
+package baseline
+
+import (
+	"luxvis/internal/core"
+	"luxvis/internal/model"
+)
+
+// SeqVis is the serialized ASYNC translation of the semi-synchronous
+// Complete Visibility algorithm. The zero value is ready to use.
+type SeqVis struct {
+	inner core.LogVis
+}
+
+// NewSeqVis returns a SeqVis baseline instance.
+func NewSeqVis() *SeqVis { return &SeqVis{} }
+
+// Name implements model.Algorithm.
+func (*SeqVis) Name() string { return "seqvis" }
+
+// Palette implements model.Algorithm: the same seven colors as LogVis.
+func (b *SeqVis) Palette() []model.Color { return b.inner.Palette() }
+
+// Compute implements model.Algorithm: LogVis's geometric decision under
+// a visibility-neighbourhood mutual exclusion.
+func (b *SeqVis) Compute(s model.Snapshot) model.Action {
+	act := b.inner.Compute(s)
+	if act.IsStay(s.Self.Pos) {
+		return act
+	}
+	// Someone visible is mid-relocation: wait. One mover per visibility
+	// neighbourhood at a time is the whole point of the translation —
+	// an asynchronous mover cannot trust concurrent movers' stale
+	// decisions, so it waits them out, which serializes progress and
+	// costs Θ(N) epochs. (A stricter static priority rule would
+	// deadlock: the unique highest-priority robot can be exactly the
+	// one whose corridors are blocked.)
+	for _, o := range s.Others {
+		if o.Color == model.Transit || o.Color == model.Beacon {
+			return model.Stay(s.Self.Pos, holdColor(act.Color))
+		}
+	}
+	return act
+}
+
+// holdColor maps an in-flight color back to the stationary color of the
+// robot's class, so a refraining robot never shows a mover's light.
+func holdColor(moving model.Color) model.Color {
+	switch moving {
+	case model.Transit:
+		return model.Interior
+	case model.Beacon:
+		return model.Side
+	default:
+		return moving
+	}
+}
+
+// compile-time interface check
+var _ model.Algorithm = (*SeqVis)(nil)

@@ -1,0 +1,105 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"luxvis/internal/baseline"
+	"luxvis/internal/config"
+	"luxvis/internal/core"
+	"luxvis/internal/exact"
+	"luxvis/internal/geom"
+	"luxvis/internal/model"
+	"luxvis/internal/sched"
+	"luxvis/internal/sim"
+)
+
+func TestSeqVisName(t *testing.T) {
+	b := baseline.NewSeqVis()
+	if b.Name() != "seqvis" {
+		t.Errorf("Name = %q", b.Name())
+	}
+	if len(b.Palette()) != len(core.NewLogVis().Palette()) {
+		t.Error("baseline palette differs from LogVis")
+	}
+}
+
+func TestSeqVisMutualExclusion(t *testing.T) {
+	b := baseline.NewSeqVis()
+	// An interior robot that would move must refrain while a Transit
+	// robot is visible.
+	s := model.Snapshot{
+		Self: model.RobotView{Pos: geom.Pt(5, 2), Color: model.Interior},
+		Others: []model.RobotView{
+			{Pos: geom.Pt(0, 0), Color: model.Corner},
+			{Pos: geom.Pt(10, 0), Color: model.Corner},
+			{Pos: geom.Pt(5, 8), Color: model.Corner},
+			{Pos: geom.Pt(7, 4), Color: model.Transit},
+		},
+	}
+	act := b.Compute(s)
+	if !act.IsStay(geom.Pt(5, 2)) {
+		t.Errorf("moved despite visible Transit: %+v", act)
+	}
+	if act.Color == model.Transit || act.Color == model.Beacon {
+		t.Errorf("refraining robot shows a mover's light: %v", act.Color)
+	}
+}
+
+func TestSeqVisConverges(t *testing.T) {
+	for _, fam := range []config.Family{config.Uniform, config.Onion, config.Line} {
+		for _, n := range []int{4, 9, 16} {
+			pts := config.Generate(fam, n, 3)
+			opt := sim.DefaultOptions(sched.NewAsyncRandom(), 3)
+			opt.MaxEpochs = 3000
+			res, err := sim.Run(baseline.NewSeqVis(), pts, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Reached {
+				t.Errorf("%s n=%d: baseline did not converge in %d epochs", fam, n, res.Epochs)
+				continue
+			}
+			if res.Collisions != 0 {
+				t.Errorf("%s n=%d: %d collisions", fam, n, res.Collisions)
+			}
+			if !exact.CompleteVisibilityHybrid(res.Final) {
+				t.Errorf("%s n=%d: final config fails exact CV", fam, n)
+			}
+		}
+	}
+}
+
+func TestSeqVisSlowerThanLogVis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison sweep skipped in -short mode")
+	}
+	// The abstract's headline comparison, small-scale form: at a
+	// moderate size the serialized baseline must need substantially
+	// more epochs than LogVis. Averaged over seeds to damp noise.
+	const n = 48
+	var logSum, seqSum int
+	for seed := int64(1); seed <= 3; seed++ {
+		pts := config.Generate(config.Uniform, n, seed)
+		lopt := sim.DefaultOptions(sched.NewAsyncRandom(), seed)
+		lopt.MaxEpochs = 4000
+		lres, err := sim.Run(core.NewLogVis(), pts, lopt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sopt := sim.DefaultOptions(sched.NewAsyncRandom(), seed)
+		sopt.MaxEpochs = 4000
+		sres, err := sim.Run(baseline.NewSeqVis(), pts, sopt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lres.Reached || !sres.Reached {
+			t.Fatalf("seed %d: convergence failed (logvis=%v seqvis=%v)", seed, lres.Reached, sres.Reached)
+		}
+		logSum += lres.Epochs
+		seqSum += sres.Epochs
+	}
+	if seqSum <= logSum {
+		t.Errorf("baseline (%d epochs total) not slower than LogVis (%d)", seqSum, logSum)
+	}
+	t.Logf("n=%d: LogVis %d epochs vs SeqVis %d epochs (3 seeds)", n, logSum, seqSum)
+}

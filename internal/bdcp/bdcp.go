@@ -1,0 +1,217 @@
+// Package bdcp implements Beacon-Directed Curve Positioning, the
+// primitive behind the paper's O(log N) bound, in isolation: given a
+// strictly convex curve with two endpoint beacons and k robots to place,
+// robots repeatedly claim the empty interval nearest to them and land at
+// a point of the curve interior to the interval; every landing splits an
+// interval in two, so the number of occupied positions doubles per round
+// and all k robots are placed in O(log k) rounds.
+//
+// The package runs the primitive as a round-based process (the
+// full asynchronous treatment lives in internal/core; here the doubling
+// behaviour itself is the object of study, reproduced for experiment F3)
+// and records per-round placement counts so the harness can chart
+// placed(t) against 2^t.
+package bdcp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"luxvis/internal/geom"
+)
+
+// Curve is a 1-parameter strictly convex curve with points addressed by
+// a parameter in [0, 1]. geom.Arc satisfies it via ArcCurve.
+type Curve interface {
+	// At returns the curve point at parameter t ∈ [0, 1].
+	At(t float64) geom.Point
+	// ParamOf returns the parameter of the curve point nearest to p.
+	ParamOf(p geom.Point) float64
+}
+
+// ArcCurve adapts a geom.Arc to the Curve interface.
+type ArcCurve struct{ Arc geom.Arc }
+
+// At implements Curve.
+func (c ArcCurve) At(t float64) geom.Point { return c.Arc.At(t) }
+
+// ParamOf implements Curve.
+func (c ArcCurve) ParamOf(p geom.Point) float64 { return c.Arc.ParamOf(p) }
+
+// SegmentCurve adapts a straight segment to the Curve interface (the
+// degenerate curve; placements on it are collinear, so it exercises the
+// interval bookkeeping without the convexity property).
+type SegmentCurve struct{ Seg geom.Segment }
+
+// At implements Curve.
+func (c SegmentCurve) At(t float64) geom.Point { return c.Seg.At(t) }
+
+// ParamOf implements Curve.
+func (c SegmentCurve) ParamOf(p geom.Point) float64 {
+	_, t := c.Seg.ClosestPoint(p)
+	return t
+}
+
+// Options tunes a Simulate run.
+type Options struct {
+	// Margin is the fraction of an interval kept clear at each end when
+	// placing (default 1/4; must be in (0, 0.5)).
+	Margin float64
+	// PerIntervalPerRound caps landings per interval per round (the
+	// BDCP discipline is 1; values > 1 model optimistic parallelism).
+	PerIntervalPerRound int
+	// MaxRounds aborts a run that fails to place everyone (default
+	// 4 + 4·log₂(k+2)).
+	MaxRounds int
+}
+
+// Result reports a Simulate run.
+type Result struct {
+	// Rounds is the number of rounds needed to place every robot.
+	Rounds int
+	// PlacedPerRound[i] is the cumulative number of placed robots after
+	// round i+1.
+	PlacedPerRound []int
+	// Params are the final curve parameters of all placed robots,
+	// beacons included, in increasing order.
+	Params []float64
+	// Positions are the corresponding curve points.
+	Positions []geom.Point
+}
+
+// Simulate places the robots at `from` onto the curve. The two curve
+// endpoints (parameters 0 and 1) act as the initial beacons. Each round,
+// every unplaced robot proposes the interval whose segment is nearest to
+// it; each interval accepts its PerIntervalPerRound nearest proposers,
+// who land at their squashed perpendicular-foot parameters. The run ends
+// when everyone is placed.
+//
+// Simulate errors if two robots would land on the same parameter (the
+// callers' configurations keep feet distinct; an exact tie would be a
+// collision in the full model).
+func Simulate(curve Curve, from []geom.Point, opt Options) (Result, error) {
+	if curve == nil {
+		return Result{}, errors.New("bdcp: nil curve")
+	}
+	if opt.Margin <= 0 || opt.Margin >= 0.5 {
+		opt.Margin = 0.25
+	}
+	if opt.PerIntervalPerRound <= 0 {
+		opt.PerIntervalPerRound = 1
+	}
+	k := len(from)
+	if opt.MaxRounds <= 0 {
+		opt.MaxRounds = 4 + 4*int(math.Ceil(math.Log2(float64(k)+2)))
+	}
+
+	placed := []float64{0, 1} // beacon parameters, kept sorted
+	type lander struct {
+		pos    geom.Point
+		landed bool
+	}
+	landers := make([]lander, k)
+	for i, p := range from {
+		landers[i] = lander{pos: p}
+	}
+	res := Result{}
+	remaining := k
+	for round := 0; remaining > 0; round++ {
+		if round >= opt.MaxRounds {
+			return res, fmt.Errorf("bdcp: %d robots unplaced after %d rounds", remaining, round)
+		}
+		// Collect proposals: interval index -> proposing lander indices.
+		type proposal struct {
+			lander int
+			dist   float64
+			t      float64 // squashed landing parameter
+		}
+		proposals := make(map[int][]proposal)
+		for li := range landers {
+			if landers[li].landed {
+				continue
+			}
+			iv, d, t := nearestInterval(curve, placed, landers[li].pos, opt.Margin)
+			proposals[iv] = append(proposals[iv], proposal{lander: li, dist: d, t: t})
+		}
+		// Each interval accepts its nearest proposers.
+		var newParams []float64
+		for _, props := range proposals {
+			sort.Slice(props, func(a, b int) bool { return props[a].dist < props[b].dist })
+			take := opt.PerIntervalPerRound
+			if take > len(props) {
+				take = len(props)
+			}
+			for _, pr := range props[:take] {
+				landers[pr.lander].landed = true
+				newParams = append(newParams, pr.t)
+				remaining--
+			}
+		}
+		placed = append(placed, newParams...)
+		sort.Float64s(placed)
+		for i := 1; i < len(placed); i++ {
+			if placed[i] == placed[i-1] {
+				return res, fmt.Errorf("bdcp: duplicate landing parameter %v in round %d", placed[i], round+1)
+			}
+		}
+		res.Rounds++
+		res.PlacedPerRound = append(res.PlacedPerRound, k-remaining)
+	}
+	res.Params = placed
+	res.Positions = make([]geom.Point, len(placed))
+	for i, t := range placed {
+		res.Positions[i] = curve.At(t)
+	}
+	return res, nil
+}
+
+// nearestInterval finds the placed-parameter interval whose curve
+// segment is nearest to p and returns its index, the distance, and the
+// squashed landing parameter inside it.
+func nearestInterval(curve Curve, placed []float64, p geom.Point, margin float64) (idx int, dist float64, t float64) {
+	best := math.Inf(1)
+	bestIdx, bestT := 0, 0.0
+	for i := 0; i+1 < len(placed); i++ {
+		a, b := curve.At(placed[i]), curve.At(placed[i+1])
+		seg := geom.Seg(a, b)
+		d := seg.Dist(p)
+		if d < best {
+			best = d
+			bestIdx = i
+			// Foot parameter within the interval, squashed into the
+			// open middle with the same monotone map the full
+			// algorithm uses (see core.LogVis).
+			_, ft := geom.ProjectOntoLine(a, b, p)
+			ft = squash(ft, margin)
+			bestT = placed[i] + ft*(placed[i+1]-placed[i])
+		}
+	}
+	return bestIdx, best, bestT
+}
+
+// squash maps a raw foot parameter into (0, 1) strictly monotonically,
+// keeping values inside [m, 1-m] exact.
+func squash(t, m float64) float64 {
+	switch {
+	case t < m:
+		x := m - t
+		return m - (m/2)*(x/(x+1))
+	case t > 1-m:
+		x := t - (1 - m)
+		return 1 - m + (m/2)*(x/(x+1))
+	default:
+		return t
+	}
+}
+
+// DoublingBound returns the textbook BDCP round bound ⌈log₂(k+1)⌉ + 1
+// for placing k robots between two beacons with one landing per interval
+// per round.
+func DoublingBound(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(k)+1))) + 1
+}

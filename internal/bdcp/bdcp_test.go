@@ -1,0 +1,143 @@
+package bdcp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"luxvis/internal/geom"
+)
+
+func arcCurve(chord, sagitta float64) ArcCurve {
+	return ArcCurve{Arc: geom.ArcThrough(geom.Pt(0, 0), geom.Pt(chord, 0), sagitta)}
+}
+
+func randomLanders(k int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, k)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, -5-rng.Float64()*50)
+	}
+	return pts
+}
+
+func TestSimulatePlacesEveryone(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 16, 50} {
+		res, err := Simulate(arcCurve(100, -6), randomLanders(k, int64(k)), Options{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got := len(res.Params); got != k+2 {
+			t.Fatalf("k=%d: %d placed params (incl. 2 beacons)", k, got)
+		}
+		for i := 1; i < len(res.Params); i++ {
+			if res.Params[i] <= res.Params[i-1] {
+				t.Fatalf("k=%d: params not strictly increasing: %v", k, res.Params)
+			}
+		}
+	}
+}
+
+func TestSimulateDoubling(t *testing.T) {
+	// The headline property of the primitive: rounds grow like log₂ k.
+	for _, k := range []int{4, 8, 16, 32, 64, 128} {
+		res, err := Simulate(arcCurve(1000, -40), randomLanders(k, 7), Options{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		bound := DoublingBound(k) + 3 // slack: proposals can collide on one interval
+		if res.Rounds > bound*2 {
+			t.Errorf("k=%d: %d rounds, doubling bound %d", k, res.Rounds, bound)
+		}
+	}
+	// Monotonic sanity: k=128 must take only a few more rounds than k=8.
+	r8, _ := Simulate(arcCurve(1000, -40), randomLanders(8, 7), Options{})
+	r128, _ := Simulate(arcCurve(1000, -40), randomLanders(128, 7), Options{})
+	if r128.Rounds > 4*r8.Rounds+8 {
+		t.Errorf("rounds grew too fast: k=8→%d, k=128→%d", r8.Rounds, r128.Rounds)
+	}
+}
+
+func TestSimulatePlacedPerRoundMonotone(t *testing.T) {
+	res, err := Simulate(arcCurve(500, -20), randomLanders(40, 3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for i, c := range res.PlacedPerRound {
+		if c <= prev {
+			t.Fatalf("round %d placed count %d did not grow (prev %d)", i+1, c, prev)
+		}
+		prev = c
+	}
+	if prev != 40 {
+		t.Errorf("final placed count = %d", prev)
+	}
+}
+
+func TestSimulatePositionsOnCurve(t *testing.T) {
+	curve := arcCurve(200, -9)
+	res, err := Simulate(curve, randomLanders(20, 5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Positions {
+		q := curve.At(res.Params[i])
+		if p.Dist(q) > 1e-9 {
+			t.Errorf("position %d not on curve: %v vs %v", i, p, q)
+		}
+	}
+	// Points on a strictly convex curve are in strictly convex position.
+	if !geom.StrictlyConvexPosition(res.Positions) {
+		t.Error("placed points not strictly convex")
+	}
+}
+
+func TestSegmentCurve(t *testing.T) {
+	c := SegmentCurve{Seg: geom.Seg(geom.Pt(0, 0), geom.Pt(10, 0))}
+	if !c.At(0.5).Eq(geom.Pt(5, 0)) {
+		t.Errorf("At = %v", c.At(0.5))
+	}
+	if got := c.ParamOf(geom.Pt(3, 4)); !floatEq(got, 0.3) {
+		t.Errorf("ParamOf = %v", got)
+	}
+	res, err := Simulate(c, randomLanders(10, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Params) != 12 {
+		t.Errorf("segment curve placed %d", len(res.Params))
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := Simulate(nil, randomLanders(3, 1), Options{}); err == nil {
+		t.Error("nil curve accepted")
+	}
+	// Impossible round budget must surface as an error.
+	_, err := Simulate(arcCurve(100, -5), randomLanders(40, 1), Options{MaxRounds: 1})
+	if err == nil {
+		t.Error("MaxRounds=1 with 40 landers did not error")
+	}
+}
+
+func TestDoublingBound(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 2, 3: 3, 7: 4, 8: int(math.Ceil(math.Log2(9))) + 1}
+	for k, want := range cases {
+		if got := DoublingBound(k); got != want {
+			t.Errorf("DoublingBound(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	res, err := Simulate(arcCurve(100, -5), randomLanders(5, 9), Options{Margin: 0.7, PerIntervalPerRound: -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Params) != 7 {
+		t.Errorf("defaulted options placed %d", len(res.Params))
+	}
+}
+
+func floatEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }

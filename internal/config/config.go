@@ -1,0 +1,289 @@
+// Package config generates initial robot configurations (workloads) for
+// the experiments. Every generator returns distinct positions — the only
+// precondition the paper places on the input — and is deterministic per
+// (family, n, seed). Families cover the regimes the algorithm's phases
+// care about: scattered interiors, degenerate lines, deep onion hulls
+// (maximum interior depth), convex starts (already near-terminal), and
+// adversarial clusters.
+package config
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"luxvis/internal/geom"
+)
+
+// Family names a configuration generator.
+type Family string
+
+// The workload families used across the experiment suite.
+const (
+	// Uniform: n points uniform in a square, minimum-separation
+	// rejection sampled.
+	Uniform Family = "uniform"
+	// Clustered: a few tight Gaussian clusters.
+	Clustered Family = "clustered"
+	// Line: n exactly collinear points with jittered spacing — the
+	// degenerate case of the collinear-breakout phase.
+	Line Family = "line"
+	// LineEven: n exactly collinear, exactly evenly spaced points — the
+	// symmetric worst case of the line phase.
+	LineEven Family = "line-even"
+	// Circle: n points on a circle with angular jitter — already in
+	// strictly convex position (near-terminal input).
+	Circle Family = "circle"
+	// Onion: concentric rings — maximal hull-peeling depth, the
+	// stress case for Interior Depletion.
+	Onion Family = "onion"
+	// Grid: a jittered lattice (many near-collinear triples).
+	Grid Family = "grid"
+	// TwoClusters: two distant tight groups (long corridors, extreme
+	// aspect ratio).
+	TwoClusters Family = "two-clusters"
+	// Wedge: points inside a thin triangle (sharp hull corners, the
+	// stress case for Edge Depletion bulges).
+	Wedge Family = "wedge"
+	// Spokes: points on straight rays from a common center — every ray
+	// is an exactly collinear chain, so the initial visibility graph is
+	// maximally obstructed without being a single line.
+	Spokes Family = "spokes"
+)
+
+// Families lists all families in canonical order.
+func Families() []Family {
+	return []Family{
+		Uniform, Clustered, Line, LineEven, Circle, Onion, Grid,
+		TwoClusters, Wedge, Spokes,
+	}
+}
+
+// scale is the nominal extent of generated configurations. Separations
+// are scaled off it so tolerance behaviour is uniform across families.
+const scale = 1000.0
+
+// Generate returns n distinct positions of the given family. It panics
+// on n < 1 or an unknown family — workloads are compiled into the
+// experiment tables, so either is a programming error.
+func Generate(f Family, n int, seed int64) []geom.Point {
+	if n < 1 {
+		panic("config: n must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(len(f))<<32 ^ int64(n)<<16))
+	var pts []geom.Point
+	switch f {
+	case Uniform:
+		pts = uniform(n, rng)
+	case Clustered:
+		pts = clustered(n, rng)
+	case Line:
+		pts = line(n, rng, true)
+	case LineEven:
+		pts = line(n, rng, false)
+	case Circle:
+		pts = circle(n, rng)
+	case Onion:
+		pts = onion(n, rng)
+	case Grid:
+		pts = grid(n, rng)
+	case TwoClusters:
+		pts = twoClusters(n, rng)
+	case Wedge:
+		pts = wedge(n, rng)
+	case Spokes:
+		pts = spokes(n, rng)
+	default:
+		panic(fmt.Sprintf("config: unknown family %q", f))
+	}
+	ensureDistinct(pts, rng)
+	return pts
+}
+
+// minSep is the rejection-sampling separation floor for scattered
+// families, scaled down with crowding.
+func minSep(n int) float64 {
+	return scale / (4 * math.Sqrt(float64(n)) * 4)
+}
+
+func uniform(n int, rng *rand.Rand) []geom.Point {
+	sep := minSep(n)
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		p := geom.Pt(rng.Float64()*scale, rng.Float64()*scale)
+		ok := true
+		for _, q := range pts {
+			if p.Dist(q) < sep {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func clustered(n int, rng *rand.Rand) []geom.Point {
+	k := 3 + rng.Intn(3)
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		centers[i] = geom.Pt(rng.Float64()*scale, rng.Float64()*scale)
+	}
+	sigma := scale / 30
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		c := centers[rng.Intn(k)]
+		p := geom.Pt(c.X+rng.NormFloat64()*sigma, c.Y+rng.NormFloat64()*sigma)
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// line produces exactly collinear points along a slanted line; exact
+// collinearity is arranged by construction on the parameter axis.
+func line(n int, rng *rand.Rand, jitterGaps bool) []geom.Point {
+	a := geom.Pt(rng.Float64()*scale/10, rng.Float64()*scale/10)
+	d := geom.Pt(1, 0.5) // fixed rational slope keeps collinearity exact-ish
+	ts := make([]float64, n)
+	t := 0.0
+	for i := range ts {
+		gap := scale / float64(n)
+		if jitterGaps {
+			gap *= 0.5 + rng.Float64()
+		}
+		t += gap
+		ts[i] = t
+	}
+	pts := make([]geom.Point, n)
+	for i, ti := range ts {
+		pts[i] = a.Add(d.Mul(ti))
+	}
+	// Shuffle so robot indices don't follow line order.
+	rng.Shuffle(n, func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	return pts
+}
+
+func circle(n int, rng *rand.Rand) []geom.Point {
+	c := geom.Pt(scale/2, scale/2)
+	r := scale / 3
+	pts := make([]geom.Point, n)
+	base := rng.Float64() * 2 * math.Pi
+	for i := range pts {
+		jitter := (rng.Float64() - 0.5) * (math.Pi / float64(2*n))
+		ang := base + 2*math.Pi*float64(i)/float64(n) + jitter
+		pts[i] = geom.Pt(c.X+r*math.Cos(ang), c.Y+r*math.Sin(ang))
+	}
+	return pts
+}
+
+// onion builds concentric rings with slightly rotated phases: the hull
+// has ~sqrt(n) peeling layers, maximizing interior depth.
+func onion(n int, rng *rand.Rand) []geom.Point {
+	c := geom.Pt(scale/2, scale/2)
+	layers := int(math.Max(2, math.Sqrt(float64(n))/1.5))
+	perLayer := (n + layers - 1) / layers
+	pts := make([]geom.Point, 0, n)
+	for l := 0; l < layers && len(pts) < n; l++ {
+		r := scale/3 - float64(l)*(scale/3)/float64(layers+1)
+		m := perLayer
+		if len(pts)+m > n {
+			m = n - len(pts)
+		}
+		phase := rng.Float64() * 2 * math.Pi
+		for i := 0; i < m; i++ {
+			ang := phase + 2*math.Pi*float64(i)/float64(m)
+			pts = append(pts, geom.Pt(c.X+r*math.Cos(ang), c.Y+r*math.Sin(ang)))
+		}
+	}
+	return pts
+}
+
+func grid(n int, rng *rand.Rand) []geom.Point {
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	cell := scale / float64(side+1)
+	jitter := cell / 8
+	pts := make([]geom.Point, 0, n)
+	for y := 0; y < side && len(pts) < n; y++ {
+		for x := 0; x < side && len(pts) < n; x++ {
+			pts = append(pts, geom.Pt(
+				float64(x+1)*cell+(rng.Float64()-0.5)*jitter,
+				float64(y+1)*cell+(rng.Float64()-0.5)*jitter,
+			))
+		}
+	}
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	return pts
+}
+
+func twoClusters(n int, rng *rand.Rand) []geom.Point {
+	sigma := scale / 50
+	c1 := geom.Pt(scale/10, scale/2)
+	c2 := geom.Pt(scale*9/10, scale/2)
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		c := c1
+		if len(pts)%2 == 1 {
+			c = c2
+		}
+		pts = append(pts, geom.Pt(c.X+rng.NormFloat64()*sigma, c.Y+rng.NormFloat64()*sigma))
+	}
+	return pts
+}
+
+func wedge(n int, rng *rand.Rand) []geom.Point {
+	// A thin triangle with apex angle ~10 degrees.
+	apex := geom.Pt(scale/20, scale/2)
+	length := scale * 0.9
+	halfAngle := math.Pi / 36
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		t := 0.05 + 0.95*rng.Float64()
+		a := (rng.Float64()*2 - 1) * halfAngle
+		p := apex.Add(geom.Pt(math.Cos(a), math.Sin(a)).Mul(t * length))
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// spokes places points on k straight rays from a common center with
+// exactly collinear positions along each ray (t-multiples of one
+// direction vector), maximizing initial obstruction: a robot sees only
+// its ray neighbours and, across rays, whatever no nearer spoke point
+// hides.
+func spokes(n int, rng *rand.Rand) []geom.Point {
+	center := geom.Pt(scale/2, scale/2)
+	k := 3 + rng.Intn(5)
+	if n < k {
+		k = n
+	}
+	perRay := (n + k - 1) / k
+	pts := make([]geom.Point, 0, n)
+	for r := 0; r < k && len(pts) < n; r++ {
+		ang := 2*math.Pi*float64(r)/float64(k) + rng.Float64()*0.2
+		dir := geom.Pt(math.Cos(ang), math.Sin(ang))
+		for i := 1; i <= perRay && len(pts) < n; i++ {
+			t := float64(i) * (scale / 2.5) / float64(perRay+1)
+			pts = append(pts, center.Add(dir.Mul(t)))
+		}
+	}
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	return pts
+}
+
+// ensureDistinct nudges any exact duplicates apart; generators make them
+// vanishingly unlikely, but the engine treats duplicates as input errors,
+// so the guarantee is enforced here.
+func ensureDistinct(pts []geom.Point, rng *rand.Rand) {
+	for i := 0; i < len(pts); i++ {
+		for j := 0; j < i; j++ {
+			for pts[i].Eq(pts[j]) {
+				pts[i] = pts[i].Add(geom.Pt(
+					(rng.Float64()+0.5)*1e-6*scale,
+					(rng.Float64()+0.5)*1e-6*scale,
+				))
+			}
+		}
+	}
+}

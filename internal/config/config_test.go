@@ -1,0 +1,126 @@
+package config
+
+import (
+	"testing"
+
+	"luxvis/internal/geom"
+)
+
+func TestGenerateAllFamilies(t *testing.T) {
+	for _, fam := range Families() {
+		for _, n := range []int{1, 2, 3, 7, 16, 40} {
+			pts := Generate(fam, n, 11)
+			if len(pts) != n {
+				t.Fatalf("%s n=%d: generated %d points", fam, n, len(pts))
+			}
+			for i := 0; i < n; i++ {
+				if !pts[i].IsFinite() {
+					t.Fatalf("%s n=%d: non-finite point %v", fam, n, pts[i])
+				}
+				for j := i + 1; j < n; j++ {
+					if pts[i].Eq(pts[j]) {
+						t.Fatalf("%s n=%d: duplicate points %d, %d", fam, n, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, fam := range Families() {
+		a := Generate(fam, 25, 42)
+		b := Generate(fam, 25, 42)
+		for i := range a {
+			if !a[i].Eq(b[i]) {
+				t.Fatalf("%s: generation not deterministic at %d", fam, i)
+			}
+		}
+		c := Generate(fam, 25, 43)
+		same := true
+		for i := range a {
+			if !a[i].Eq(c[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical configurations", fam)
+		}
+	}
+}
+
+func TestLineFamiliesAreCollinear(t *testing.T) {
+	for _, fam := range []Family{Line, LineEven} {
+		pts := Generate(fam, 30, 5)
+		if !geom.AllCollinear(pts) {
+			t.Errorf("%s: points not collinear", fam)
+		}
+	}
+}
+
+func TestCircleIsStrictlyConvex(t *testing.T) {
+	pts := Generate(Circle, 24, 7)
+	if !geom.StrictlyConvexPosition(pts) {
+		t.Error("circle family not strictly convex")
+	}
+}
+
+func TestOnionIsDeep(t *testing.T) {
+	pts := Generate(Onion, 100, 3)
+	// The onion must have several hull-peeling layers; a scattered set
+	// of 100 points has depth ~5-8, the onion should reach at least
+	// that via its explicit rings.
+	depth := 0
+	rest := pts
+	for len(rest) > 0 {
+		depth++
+		h := geom.ConvexHull(rest)
+		var next []geom.Point
+		for _, p := range rest {
+			if c := h.Classify(p); c != geom.HullCorner && c != geom.HullEdge {
+				next = append(next, p)
+			}
+		}
+		if len(next) == len(rest) {
+			break
+		}
+		rest = next
+	}
+	if depth < 4 {
+		t.Errorf("onion depth = %d, want ≥ 4", depth)
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Generate(Uniform, 0, 1) },
+		func() { Generate(Family("nonsense"), 5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTwoClustersAreSeparated(t *testing.T) {
+	pts := Generate(TwoClusters, 40, 9)
+	min, max := geom.BoundingBox(pts)
+	if max.X-min.X < scale/2 {
+		t.Errorf("two-clusters spread %v too small", max.X-min.X)
+	}
+}
+
+func TestWedgeIsThin(t *testing.T) {
+	pts := Generate(Wedge, 60, 4)
+	min, max := geom.BoundingBox(pts)
+	w, h := max.X-min.X, max.Y-min.Y
+	if h > w {
+		t.Errorf("wedge aspect inverted: w=%v h=%v", w, h)
+	}
+}

@@ -1,0 +1,132 @@
+package core_test
+
+// Integration tests: full engine runs of LogVis across workload families,
+// schedulers and seeds, asserting the paper's claims on every run —
+// Complete Visibility reached, zero collisions, bounded colors — and
+// recording path-crossing counts (see DESIGN.md on the crossing
+// reconstruction deviation).
+
+import (
+	"testing"
+
+	"luxvis/internal/config"
+	"luxvis/internal/core"
+	"luxvis/internal/exact"
+	"luxvis/internal/geom"
+	"luxvis/internal/sched"
+	"luxvis/internal/sim"
+)
+
+func runOnce(t *testing.T, fam config.Family, n int, schedName string, seed int64, maxEpochs int) sim.Result {
+	t.Helper()
+	pts := config.Generate(fam, n, seed)
+	opt := sim.DefaultOptions(sched.ByName(schedName), seed)
+	opt.MaxEpochs = maxEpochs
+	res, err := sim.Run(core.NewLogVis(), pts, opt)
+	if err != nil {
+		t.Fatalf("%s n=%d %s seed=%d: %v", fam, n, schedName, seed, err)
+	}
+	return res
+}
+
+func assertClaims(t *testing.T, res sim.Result, label string) {
+	t.Helper()
+	if !res.Reached {
+		t.Errorf("%s: did not reach Complete Visibility (epochs=%d)", label, res.Epochs)
+		return
+	}
+	if res.Collisions != 0 {
+		t.Errorf("%s: %d collisions", label, res.Collisions)
+	}
+	if res.ColorsUsed > 8 {
+		t.Errorf("%s: %d colors used", label, res.ColorsUsed)
+	}
+	if !exact.CompleteVisibilityHybrid(res.Final) {
+		t.Errorf("%s: final configuration fails exact CV", label)
+	}
+	if !geom.StrictlyConvexPosition(res.Final) {
+		t.Errorf("%s: final configuration not strictly convex", label)
+	}
+}
+
+func TestLogVisAllFamiliesAsync(t *testing.T) {
+	for _, fam := range config.Families() {
+		for _, n := range []int{4, 9, 17, 32} {
+			res := runOnce(t, fam, n, "async-random", 7, 600)
+			assertClaims(t, res, string(fam))
+		}
+	}
+}
+
+func TestLogVisAllSchedulers(t *testing.T) {
+	for _, name := range sched.Names() {
+		for _, seed := range []int64{1, 2, 3} {
+			res := runOnce(t, config.Uniform, 24, name, seed, 600)
+			assertClaims(t, res, name)
+		}
+	}
+}
+
+func TestLogVisStaleAdversary(t *testing.T) {
+	// The staleness-maximizing adversary is the hard case for ASYNC
+	// correctness: robots act on snapshots stale by up to n-1 moves.
+	for _, n := range []int{8, 16, 33} {
+		res := runOnce(t, config.Uniform, n, "async-stale", 11, 800)
+		assertClaims(t, res, "async-stale")
+	}
+}
+
+func TestLogVisManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep skipped in -short mode")
+	}
+	totalCross := 0
+	for seed := int64(0); seed < 12; seed++ {
+		res := runOnce(t, config.Uniform, 20, "async-random", seed, 600)
+		assertClaims(t, res, "seeds")
+		totalCross += res.PathCrossings
+	}
+	t.Logf("path crossings across 12 seeds: %d", totalCross)
+}
+
+func TestLogVisSmallN(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		for _, fam := range []config.Family{config.Uniform, config.Line} {
+			res := runOnce(t, fam, n, "async-random", 5, 300)
+			assertClaims(t, res, string(fam))
+		}
+	}
+}
+
+func TestLogVisNonRigidStress(t *testing.T) {
+	// Non-rigid motion: the adversary may truncate every move. The
+	// algorithm must still converge (it re-plans from fresh snapshots
+	// every cycle) and never collide.
+	pts := config.Generate(config.Uniform, 16, 3)
+	opt := sim.DefaultOptions(sched.NewAsyncRandom(), 3)
+	opt.NonRigid = true
+	opt.MaxEpochs = 1500
+	res, err := sim.Run(core.NewLogVis(), pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collisions != 0 {
+		t.Errorf("non-rigid run collided %d times", res.Collisions)
+	}
+	if !res.Reached {
+		t.Logf("non-rigid run did not settle in %d epochs (allowed: truncation can stall progress)", res.Epochs)
+	}
+}
+
+func TestLogVisEpochsGrowSlowly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling check skipped in -short mode")
+	}
+	// The headline claim, coarse form: quadrupling N from 32 to 128
+	// must not quadruple the epochs (log growth would add a constant).
+	e32 := runOnce(t, config.Uniform, 32, "async-random", 9, 600).Epochs
+	e128 := runOnce(t, config.Uniform, 128, "async-random", 9, 600).Epochs
+	if e128 >= 4*e32 {
+		t.Errorf("epochs grew linearly or worse: n=32→%d, n=128→%d", e32, e128)
+	}
+}

@@ -1,0 +1,51 @@
+package exact
+
+import (
+	"luxvis/internal/geom"
+)
+
+// candidateTol is the folded-angle tolerance handed to the float
+// candidate filter. An exactly collinear triple of finite float64
+// coordinates produces a folded-angle gap many orders of magnitude below
+// this, so the candidate set is a strict superset of the exactly
+// collinear triples and confirming candidates exactly decides CV exactly.
+const candidateTol = 1e-5
+
+// CompleteVisibilityHybrid decides Complete Visibility for float points
+// with exact arithmetic at O(n² log n) expected cost: a float angular
+// filter proposes candidate collinear triples, each of which is confirmed
+// or refuted over big.Rat. Distinctness is checked exactly as well. The
+// full O(n³) exact predicate (CompleteVisibility) is cross-validated
+// against this in tests.
+func CompleteVisibilityHybrid(pts []geom.Point) bool {
+	eps := FromFloats(pts)
+	// Exact distinctness.
+	for i := 0; i < len(eps); i++ {
+		for j := i + 1; j < len(eps); j++ {
+			if eps[i].Eq(eps[j]) {
+				return false
+			}
+		}
+	}
+	// Candidate collinear triples from the float filter, confirmed
+	// exactly. Any confirmed collinear triple of distinct points has one
+	// point strictly between the others, hence a blocked pair.
+	for _, t := range geom.CollinearCandidates(pts, candidateTol) {
+		if t.A == t.Blocker || t.B == t.Blocker {
+			// Degenerate duplicate marker from the filter; distinctness
+			// above already handled true duplicates.
+			continue
+		}
+		if Collinear(eps[t.A], eps[t.B], eps[t.Blocker]) {
+			return false
+		}
+	}
+	return true
+}
+
+// BlockedPairExact reports whether the specific pair (i, j) is blocked,
+// exactly.
+func BlockedPairExact(pts []geom.Point, i, j int) bool {
+	eps := FromFloats(pts)
+	return !Visible(eps, i, j)
+}

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"fmt"
+
+	"luxvis/internal/config"
+	"luxvis/internal/core"
+	"luxvis/internal/model"
+	"luxvis/internal/sched"
+	"luxvis/internal/sim"
+)
+
+// The ablation experiments demonstrate why two of the reconstruction's
+// design decisions exist by switching each off and measuring the damage.
+// They are the "ablation benches for the design choices DESIGN.md calls
+// out".
+
+// AblationCell is one (variant, N) measurement.
+type AblationCell struct {
+	Variant string
+	N       int
+	Reached int
+	Runs    int
+	Epochs  float64
+	Cross   int
+	Coll    int
+}
+
+// A1Result reports ablation A1.
+type A1Result struct{ Cells []AblationCell }
+
+// A1Sagitta compares the quadratic landing-sagitta law against the
+// naive constant-fraction law. With constant fractions, each landing
+// generation bulges past the previous one's local curvature, swallowing
+// earlier landers back into the hull — the run churns and may not
+// converge at all.
+func A1Sagitta(cfg Config) (A1Result, error) {
+	ns := cfg.ns([]int{64, 128, 256}, []int{48, 96})
+	seeds := cfg.seeds(3, 2)
+	variants := []struct {
+		name string
+		mk   func() model.Algorithm
+	}{
+		{"quadratic (ours)", func() model.Algorithm { return core.NewLogVis() }},
+		{"constant-fraction", func() model.Algorithm {
+			return &core.LogVis{AblateConstantSagitta: true}
+		}},
+	}
+	var res A1Result
+	w := newTab(cfg.out())
+	fmt.Fprintln(w, "A1: landing-sagitta law ablation (LogVis, ASYNC, uniform)")
+	fmt.Fprintln(w, "variant\tN\treached\tepochs(mean)\tcrossings")
+	for _, v := range variants {
+		for _, n := range ns {
+			cell, err := ablationCell(v.name, v.mk, n, seeds, 600)
+			if err != nil {
+				return res, err
+			}
+			res.Cells = append(res.Cells, cell)
+			fmt.Fprintf(w, "%s\t%d\t%d/%d\t%.1f\t%d\n",
+				cell.Variant, cell.N, cell.Reached, cell.Runs, cell.Epochs, cell.Cross)
+		}
+	}
+	return res, w.Flush()
+}
+
+// A2Result reports ablation A2.
+type A2Result struct{ Cells []AblationCell }
+
+// A2Guard compares the one-landing-per-interval Transit guard against
+// running without it. Without the guard, concurrent landers race into
+// the same interval; the engine's exact checker counts the resulting
+// concurrent path crossings (and any collisions).
+func A2Guard(cfg Config) (A2Result, error) {
+	ns := cfg.ns([]int{64, 128}, []int{48})
+	seeds := cfg.seeds(3, 2)
+	variants := []struct {
+		name string
+		mk   func() model.Algorithm
+	}{
+		{"guarded (ours)", func() model.Algorithm { return core.NewLogVis() }},
+		{"no transit guard", func() model.Algorithm {
+			return &core.LogVis{AblateNoTransitGuard: true}
+		}},
+	}
+	var res A2Result
+	w := newTab(cfg.out())
+	fmt.Fprintln(w, "A2: Transit-guard ablation (LogVis, ASYNC, uniform)")
+	fmt.Fprintln(w, "variant\tN\treached\tepochs(mean)\tcrossings\tcollisions")
+	for _, v := range variants {
+		for _, n := range ns {
+			cell, err := ablationCell(v.name, v.mk, n, seeds, 600)
+			if err != nil {
+				return res, err
+			}
+			res.Cells = append(res.Cells, cell)
+			fmt.Fprintf(w, "%s\t%d\t%d/%d\t%.1f\t%d\t%d\n",
+				cell.Variant, cell.N, cell.Reached, cell.Runs, cell.Epochs, cell.Cross, cell.Coll)
+		}
+	}
+	return res, w.Flush()
+}
+
+// ablationCell runs one variant at one N across seeds.
+func ablationCell(name string, mk func() model.Algorithm, n, seeds, maxEpochs int) (AblationCell, error) {
+	cell := AblationCell{Variant: name, N: n}
+	var epochSum float64
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		pts := config.Generate(config.Uniform, n, seed)
+		opt := sim.DefaultOptions(sched.NewAsyncRandom(), seed)
+		opt.MaxEpochs = maxEpochs
+		r, err := sim.Run(mk(), pts, opt)
+		if err != nil {
+			return cell, err
+		}
+		cell.Runs++
+		if r.Reached {
+			cell.Reached++
+		}
+		epochSum += float64(r.Epochs)
+		cell.Cross += r.PathCrossings
+		cell.Coll += r.Collisions
+	}
+	cell.Epochs = epochSum / float64(cell.Runs)
+	return cell, nil
+}

@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"fmt"
+
+	"luxvis/internal/config"
+	"luxvis/internal/core"
+	"luxvis/internal/sched"
+	"luxvis/internal/sim"
+)
+
+// F7Result reports experiment F7: the convergence dynamics of one run.
+type F7Result struct {
+	N       int
+	Samples []sim.EpochSample
+}
+
+// F7Convergence records the hull composition at every epoch boundary of
+// a single representative run: the corner count should roughly double
+// per epoch through the main Interior Depletion phase — the observable
+// trace of the BDCP doubling argument.
+func F7Convergence(cfg Config) (F7Result, error) {
+	n := 256
+	if cfg.Quick {
+		n = 64
+	}
+	pts := config.Generate(config.Uniform, n, 1)
+	opt := sim.DefaultOptions(sched.NewAsyncRandom(), 1)
+	opt.SampleEpochs = true
+	if cfg.MaxEpochs > 0 {
+		opt.MaxEpochs = cfg.MaxEpochs
+	}
+	res, err := sim.Run(core.NewLogVis(), pts, opt)
+	if err != nil {
+		return F7Result{}, err
+	}
+	out := F7Result{N: n, Samples: res.EpochSamples}
+	w := newTab(cfg.out())
+	fmt.Fprintf(w, "F7: convergence dynamics (LogVis, ASYNC, uniform, N=%d, reached=%v)\n", n, res.Reached)
+	fmt.Fprintln(w, "epoch\tcorners\tedge\tinterior\tmoves(cum)\tCV")
+	for _, s := range out.Samples {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%v\n",
+			s.Epoch, s.Corners, s.EdgeRobots, s.Interior, s.MovesSoFar, s.CV)
+	}
+	return out, w.Flush()
+}
+
+// F8Result reports experiment F8.
+type F8Result struct {
+	Ns        []int
+	LogVis    []float64
+	CircleVis []float64
+	LogDist   []float64
+	CircDist  []float64
+}
+
+// F8ThreeWay compares the paper's LogVis against CircleVis, the
+// move-onto-a-common-circle reference strategy: epochs and movement
+// cost. CircleVis parallelizes well but pays for radial serialization on
+// shared rays and travels farther (everyone walks to the enclosing
+// circle); LogVis lands robots on the nearest boundary stretch.
+func F8ThreeWay(cfg Config) (F8Result, error) {
+	ns := cfg.ns([]int{16, 32, 64, 128}, []int{16, 32})
+	seeds := cfg.seeds(3, 2)
+	var res F8Result
+	w := newTab(cfg.out())
+	fmt.Fprintln(w, "F8: LogVis vs CircleVis reference (ASYNC, uniform)")
+	fmt.Fprintln(w, "N\tlogvis epochs\tcirclevis epochs\tlogvis dist\tcirclevis dist\tcirclevis reached")
+	for _, n := range ns {
+		ls, _, err := runBatch(logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		if err != nil {
+			return res, err
+		}
+		cs, _, err := runBatch(circleVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		if err != nil {
+			return res, err
+		}
+		res.Ns = append(res.Ns, n)
+		res.LogVis = append(res.LogVis, ls.Epochs.Mean)
+		res.CircleVis = append(res.CircleVis, cs.Epochs.Mean)
+		res.LogDist = append(res.LogDist, ls.DistPerBot.Mean)
+		res.CircDist = append(res.CircDist, cs.DistPerBot.Mean)
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%d/%d\n",
+			n, ls.Epochs.Mean, cs.Epochs.Mean,
+			ls.DistPerBot.Mean, cs.DistPerBot.Mean, cs.Reached, cs.Runs)
+	}
+	return res, w.Flush()
+}
+
+// F9Result reports experiment F9.
+type F9Result struct {
+	Ns       []int
+	Rigid    []float64 // mean epochs
+	NonRigid []float64
+	Reached  int
+	Runs     int
+}
+
+// F9NonRigid stresses the algorithm under the non-rigid motion
+// adversary — every move may be truncated to a fraction of its intended
+// segment (at least 30%). The paper assumes rigid moves; oblivious
+// re-planning from fresh snapshots should still converge, only slower.
+// This is an extension experiment beyond the paper's model.
+func F9NonRigid(cfg Config) (F9Result, error) {
+	ns := cfg.ns([]int{16, 32, 64, 128}, []int{16, 32})
+	seeds := cfg.seeds(3, 2)
+	var res F9Result
+	w := newTab(cfg.out())
+	fmt.Fprintln(w, "F9: non-rigid motion stress (LogVis, ASYNC, uniform)")
+	fmt.Fprintln(w, "N\trigid epochs\tnon-rigid epochs\tslowdown\tnon-rigid reached")
+	for _, n := range ns {
+		rs, _, err := runBatch(logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		if err != nil {
+			return res, err
+		}
+		// Non-rigid runs need their own loop: runBatch has no Options
+		// hook for the motion adversary.
+		var epochSum float64
+		reached, runs := 0, 0
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			pts := config.Generate(config.Uniform, n, seed)
+			opt := sim.DefaultOptions(sched.NewAsyncRandom(), seed)
+			opt.NonRigid = true
+			if cfg.MaxEpochs > 0 {
+				opt.MaxEpochs = cfg.MaxEpochs
+			}
+			r, err := sim.Run(logVis(), pts, opt)
+			if err != nil {
+				return res, err
+			}
+			runs++
+			if r.Reached {
+				reached++
+			}
+			epochSum += float64(r.Epochs)
+		}
+		mean := epochSum / float64(runs)
+		res.Ns = append(res.Ns, n)
+		res.Rigid = append(res.Rigid, rs.Epochs.Mean)
+		res.NonRigid = append(res.NonRigid, mean)
+		res.Reached += reached
+		res.Runs += runs
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.2f×\t%d/%d\n",
+			n, rs.Epochs.Mean, mean, mean/rs.Epochs.Mean, reached, runs)
+	}
+	return res, w.Flush()
+}

@@ -1,0 +1,172 @@
+// Package exp is the experiment harness behind EXPERIMENTS.md: one
+// entry per table/figure of the reproduction (T1-T4, F1-F6), each
+// regenerating its table from scratch — workload generation, runs,
+// aggregation, growth-law fits — and printing the rows the document
+// quotes. cmd/visbench and bench_test.go are thin wrappers around this
+// package.
+//
+// The paper itself is a theory paper; the "tables" reproduced here are
+// the simulation-grade analogues of its five claims (see DESIGN.md).
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"text/tabwriter"
+
+	"luxvis/internal/baseline"
+	"luxvis/internal/circlevis"
+	"luxvis/internal/config"
+	"luxvis/internal/core"
+	"luxvis/internal/metrics"
+	"luxvis/internal/model"
+	"luxvis/internal/sched"
+	"luxvis/internal/sim"
+)
+
+// Config scales an experiment.
+type Config struct {
+	// Quick shrinks sweeps for CI and benchmarks.
+	Quick bool
+	// Seeds is the number of repetitions per cell (0 = default).
+	Seeds int
+	// MaxEpochs bounds each run (0 = default 4096).
+	MaxEpochs int
+	// Out receives the printed table (nil = io.Discard).
+	Out io.Writer
+}
+
+func (c Config) out() io.Writer {
+	if c.Out == nil {
+		return io.Discard
+	}
+	return c.Out
+}
+
+func (c Config) seeds(def, quick int) int {
+	if c.Seeds > 0 {
+		return c.Seeds
+	}
+	if c.Quick {
+		return quick
+	}
+	return def
+}
+
+func (c Config) ns(full, quick []int) []int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Cell is one sweep cell: an aggregated batch of runs.
+type Cell struct {
+	N     int
+	Label string
+	Stats metrics.RunStats
+}
+
+// runBatch executes `seeds` runs of one algorithm/scheduler/family/N
+// cell — in parallel, one goroutine per seed, since runs are fully
+// independent (fresh algorithm value, fresh scheduler, seed-determined
+// randomness) — and aggregates them. Results are ordered by seed, so
+// aggregation is deterministic regardless of completion order.
+func runBatch(alg func() model.Algorithm, schedName string, fam config.Family, n, seeds, maxEpochs int) (metrics.RunStats, []sim.Result, error) {
+	results := make([]sim.Result, seeds)
+	errs := make([]error, seeds)
+	var wg sync.WaitGroup
+	for i := 0; i < seeds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seed := int64(i + 1)
+			pts := config.Generate(fam, n, seed)
+			opt := sim.DefaultOptions(sched.ByName(schedName), seed)
+			if maxEpochs > 0 {
+				opt.MaxEpochs = maxEpochs
+			}
+			res, err := sim.Run(alg(), pts, opt)
+			if err != nil {
+				errs[i] = fmt.Errorf("n=%d seed=%d: %w", n, seed, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return metrics.RunStats{}, nil, err
+		}
+	}
+	return metrics.Aggregate(results), results, nil
+}
+
+func logVis() model.Algorithm    { return core.NewLogVis() }
+func seqVis() model.Algorithm    { return baseline.NewSeqVis() }
+func circleVis() model.Algorithm { return circlevis.NewCircleVis() }
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// Names lists the experiment identifiers in canonical order.
+func Names() []string {
+	return []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "A1", "A2"}
+}
+
+// Run executes one experiment by name and prints its table to cfg.Out.
+// It returns an error for unknown names or failed runs; experiment
+// *outcomes* (e.g. a non-zero collision count) are data, not errors.
+func Run(name string, cfg Config) error {
+	switch name {
+	case "T1":
+		_, err := T1LogGrowth(cfg)
+		return err
+	case "T2":
+		_, err := T2Colors(cfg)
+		return err
+	case "T3":
+		_, err := T3Safety(cfg)
+		return err
+	case "T4":
+		_, err := T4Correctness(cfg)
+		return err
+	case "F1":
+		_, err := F1VsBaseline(cfg)
+		return err
+	case "F2":
+		_, err := F2Schedulers(cfg)
+		return err
+	case "F3":
+		_, err := F3BDCP(cfg)
+		return err
+	case "F4":
+		_, err := F4Workloads(cfg)
+		return err
+	case "F5":
+		_, err := F5Goroutines(cfg)
+		return err
+	case "F6":
+		_, err := F6Movement(cfg)
+		return err
+	case "F7":
+		_, err := F7Convergence(cfg)
+		return err
+	case "F8":
+		_, err := F8ThreeWay(cfg)
+		return err
+	case "F9":
+		_, err := F9NonRigid(cfg)
+		return err
+	case "A1":
+		_, err := A1Sagitta(cfg)
+		return err
+	case "A2":
+		_, err := A2Guard(cfg)
+		return err
+	default:
+		return fmt.Errorf("exp: unknown experiment %q (known: %v)", name, Names())
+	}
+}

@@ -1,0 +1,214 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg(buf *bytes.Buffer) Config {
+	return Config{Quick: true, Seeds: 1, Out: buf}
+}
+
+func TestT1Quick(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := T1LogGrowth(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) == 0 {
+		t.Fatal("no cells")
+	}
+	for _, c := range res.Cells {
+		if c.Stats.Reached != c.Stats.Runs {
+			t.Errorf("N=%d: %d/%d reached", c.N, c.Stats.Reached, c.Stats.Runs)
+		}
+	}
+	if !strings.Contains(buf.String(), "T1:") {
+		t.Error("table header missing")
+	}
+}
+
+func TestT2Quick(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := T2Colors(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxColors > res.Palette {
+		t.Errorf("colors used (%d) exceed the declared palette (%d)", res.MaxColors, res.Palette)
+	}
+	if res.Palette != 7 {
+		t.Errorf("palette = %d", res.Palette)
+	}
+}
+
+func TestT3Quick(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := T3Safety(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collisions != 0 {
+		t.Errorf("collisions = %d, the paper's claim is 0", res.Collisions)
+	}
+	if len(res.Rows) != 4 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestT4Quick(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := T4Correctness(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllReached {
+		t.Error("not every family reached Complete Visibility")
+	}
+}
+
+func TestF1Quick(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := F1VsBaseline(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpeedupAtMax <= 1 {
+		t.Errorf("baseline not slower at max N (speedup %.2f)", res.SpeedupAtMax)
+	}
+}
+
+func TestF2Quick(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := F2Schedulers(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestF3Quick(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := F3BDCP(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The primitive's rounds must stay near the doubling bound.
+	for i := range res.Ks {
+		if res.Rounds[i] > float64(res.Bound[i]*2+4) {
+			t.Errorf("k=%d: rounds %.1f far above bound %d", res.Ks[i], res.Rounds[i], res.Bound[i])
+		}
+	}
+}
+
+func TestF4Quick(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := F4Workloads(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Errorf("families covered = %d", len(res.Rows))
+	}
+}
+
+func TestF6Quick(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := F6Movement(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ns) == 0 {
+		t.Fatal("no cells")
+	}
+}
+
+func TestRunByName(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Quick: true, Seeds: 1, Out: &buf}
+	// F5 spins real goroutine swarms; cover it via Run with the
+	// smallest quick config.
+	for _, name := range []string{"T2", "F5"} {
+		if err := Run(name, cfg); err != nil {
+			t.Errorf("Run(%s): %v", name, err)
+		}
+	}
+	if err := Run("nope", cfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestA1Quick(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := A1Sagitta(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) == 0 {
+		t.Fatal("no cells")
+	}
+	// Our variant must always converge.
+	for _, c := range res.Cells {
+		if c.Variant == "quadratic (ours)" && c.Reached != c.Runs {
+			t.Errorf("our sagitta law failed at N=%d", c.N)
+		}
+	}
+}
+
+func TestA2Quick(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := A2Guard(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if c.Variant == "guarded (ours)" && c.Coll != 0 {
+			t.Errorf("guarded variant collided at N=%d", c.N)
+		}
+	}
+}
+
+func TestF7Quick(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := F7Convergence(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 2 {
+		t.Fatalf("samples = %d", len(res.Samples))
+	}
+	// Interior population must be non-increasing-to-zero overall:
+	// the final sample has no interior robots.
+	last := res.Samples[len(res.Samples)-1]
+	if last.Interior != 0 {
+		t.Errorf("run ended with %d interior robots", last.Interior)
+	}
+	if last.Corners != res.N {
+		t.Errorf("run ended with %d corners of %d", last.Corners, res.N)
+	}
+}
+
+func TestF8Quick(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := F8ThreeWay(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ns) == 0 {
+		t.Fatal("no cells")
+	}
+}
+
+func TestF9Quick(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := F9NonRigid(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != res.Runs {
+		t.Errorf("non-rigid runs reached %d/%d", res.Reached, res.Runs)
+	}
+}

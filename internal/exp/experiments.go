@@ -1,0 +1,449 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"luxvis/internal/bdcp"
+	"luxvis/internal/config"
+	"luxvis/internal/geom"
+	"luxvis/internal/rt"
+	"luxvis/internal/stats"
+)
+
+// ---------------------------------------------------------------------
+// T1 — the O(log N) time claim
+
+// T1Result reports experiment T1.
+type T1Result struct {
+	Cells  []Cell
+	Growth stats.GrowthReport
+}
+
+// T1LogGrowth measures LogVis epochs against N under the randomized
+// ASYNC scheduler and fits candidate growth laws; the paper's claim is
+// that the log law explains the series.
+func T1LogGrowth(cfg Config) (T1Result, error) {
+	ns := cfg.ns([]int{8, 16, 32, 64, 128, 256, 512}, []int{8, 16, 32, 64})
+	seeds := cfg.seeds(5, 2)
+	var res T1Result
+	var xs, ys []float64
+	w := newTab(cfg.out())
+	fmt.Fprintln(w, "T1: LogVis epochs to Complete Visibility (ASYNC, uniform)")
+	fmt.Fprintln(w, "N\tepochs(mean)\tepochs(p95)\treached\tseeds")
+	for _, n := range ns {
+		st, _, err := runBatch(logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		if err != nil {
+			return res, err
+		}
+		res.Cells = append(res.Cells, Cell{N: n, Stats: st})
+		xs = append(xs, float64(n))
+		ys = append(ys, st.Epochs.Mean)
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%d/%d\t%d\n",
+			n, st.Epochs.Mean, st.Epochs.P95, st.Reached, st.Runs, seeds)
+	}
+	growth, err := stats.ClassifyGrowth(xs, ys)
+	if err != nil {
+		return res, err
+	}
+	res.Growth = growth
+	fmt.Fprintf(w, "fit\tlog₂: %.2f·log₂N%+.2f (R²=%.3f)\tsqrt: R²=%.3f\tlinear: R²=%.3f\tbest=%s\n",
+		growth.Log.Slope, growth.Log.Intercept, growth.Log.R2,
+		growth.Sqrt.R2, growth.Linear.R2, growth.Best)
+	return res, w.Flush()
+}
+
+// ---------------------------------------------------------------------
+// T2 — the O(1) colors claim
+
+// T2Result reports experiment T2.
+type T2Result struct {
+	Cells []Cell
+	// MaxColors is the largest number of distinct colors any run ever
+	// lit; the claim is that it does not grow with N.
+	MaxColors int
+	// Palette is the declared palette size.
+	Palette int
+}
+
+// T2Colors measures the number of distinct colors lit across the N
+// sweep.
+func T2Colors(cfg Config) (T2Result, error) {
+	ns := cfg.ns([]int{8, 32, 128, 256}, []int{8, 32, 64})
+	seeds := cfg.seeds(4, 2)
+	res := T2Result{Palette: len(logVis().Palette())}
+	w := newTab(cfg.out())
+	fmt.Fprintln(w, "T2: distinct colors lit (LogVis, ASYNC, uniform)")
+	fmt.Fprintln(w, "N\tcolors(max over runs)\tdeclared palette")
+	for _, n := range ns {
+		st, _, err := runBatch(logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		if err != nil {
+			return res, err
+		}
+		res.Cells = append(res.Cells, Cell{N: n, Stats: st})
+		if st.MaxColors > res.MaxColors {
+			res.MaxColors = st.MaxColors
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\n", n, st.MaxColors, res.Palette)
+	}
+	return res, w.Flush()
+}
+
+// ---------------------------------------------------------------------
+// T3 — the collision-freedom claim
+
+// T3Result reports experiment T3.
+type T3Result struct {
+	Rows []T3Row
+	// Collisions is the grand total of exact colocations and
+	// pass-throughs (the claim: zero).
+	Collisions int
+	// PathCrossings is the grand total of concurrent path crossings
+	// (the claim: zero; see DESIGN.md on the reconstruction deviation).
+	PathCrossings int
+	Runs          int
+}
+
+// T3Row is one scheduler's tally.
+type T3Row struct {
+	Scheduler     string
+	Runs          int
+	Collisions    int
+	PathCrossings int
+	MinPairDist   float64
+}
+
+// T3Safety counts safety violations across schedulers and sizes; every
+// count is verified with exact rational arithmetic.
+func T3Safety(cfg Config) (T3Result, error) {
+	ns := cfg.ns([]int{16, 64, 128}, []int{16, 48})
+	seeds := cfg.seeds(4, 2)
+	var res T3Result
+	w := newTab(cfg.out())
+	fmt.Fprintln(w, "T3: safety violations (LogVis, uniform; exact arithmetic)")
+	fmt.Fprintln(w, "scheduler\truns\tcollisions\tpath-crossings\tmin pair dist")
+	for _, schedName := range []string{"fsync", "ssync", "async-random", "async-stale"} {
+		row := T3Row{Scheduler: schedName, MinPairDist: 1e18}
+		for _, n := range ns {
+			st, results, err := runBatch(logVis, schedName, config.Uniform, n, seeds, cfg.MaxEpochs)
+			if err != nil {
+				return res, err
+			}
+			row.Runs += st.Runs
+			row.Collisions += st.Collisions
+			row.PathCrossings += st.PathCrosses
+			for _, r := range results {
+				if r.MinPairDist < row.MinPairDist {
+					row.MinPairDist = r.MinPairDist
+				}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+		res.Runs += row.Runs
+		res.Collisions += row.Collisions
+		res.PathCrossings += row.PathCrossings
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.3g\n",
+			row.Scheduler, row.Runs, row.Collisions, row.PathCrossings, row.MinPairDist)
+	}
+	fmt.Fprintf(w, "total\t%d\t%d\t%d\t\n", res.Runs, res.Collisions, res.PathCrossings)
+	return res, w.Flush()
+}
+
+// ---------------------------------------------------------------------
+// T4 — the universal-correctness claim
+
+// T4Result reports experiment T4.
+type T4Result struct {
+	Rows []T4Row
+	// AllReached reports whether every run of every family reached
+	// Complete Visibility.
+	AllReached bool
+}
+
+// T4Row is one workload family's tally.
+type T4Row struct {
+	Family  config.Family
+	Runs    int
+	Reached int
+	Epochs  float64
+}
+
+// T4Correctness verifies Complete Visibility is reached from every
+// workload family.
+func T4Correctness(cfg Config) (T4Result, error) {
+	n := 48
+	if cfg.Quick {
+		n = 24
+	}
+	seeds := cfg.seeds(4, 2)
+	res := T4Result{AllReached: true}
+	w := newTab(cfg.out())
+	fmt.Fprintln(w, "T4: correctness per initial-configuration family (LogVis, ASYNC)")
+	fmt.Fprintf(w, "family\truns\treached\tepochs(mean)\t(N=%d)\n", n)
+	for _, fam := range config.Families() {
+		st, _, err := runBatch(logVis, "async-random", fam, n, seeds, cfg.MaxEpochs)
+		if err != nil {
+			return res, err
+		}
+		row := T4Row{Family: fam, Runs: st.Runs, Reached: st.Reached, Epochs: st.Epochs.Mean}
+		res.Rows = append(res.Rows, row)
+		if row.Reached != row.Runs {
+			res.AllReached = false
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t\n", fam, row.Runs, row.Reached, row.Epochs)
+	}
+	return res, w.Flush()
+}
+
+// ---------------------------------------------------------------------
+// F1 — the headline comparison: O(log N) vs the O(N) translation
+
+// F1Result reports experiment F1.
+type F1Result struct {
+	Ns       []int
+	LogVis   []float64 // mean epochs
+	Baseline []float64
+	// SpeedupAtMax is baseline/logvis mean-epoch ratio at the largest N.
+	SpeedupAtMax float64
+	LogGrowth    stats.GrowthReport
+	BaseGrowth   stats.GrowthReport
+}
+
+// F1VsBaseline produces the paper's headline figure: epochs of the
+// O(log N) algorithm against the Θ(N) translation of the
+// semi-synchronous algorithm, on identical inputs.
+func F1VsBaseline(cfg Config) (F1Result, error) {
+	ns := cfg.ns([]int{8, 16, 32, 64, 96, 128}, []int{8, 16, 32})
+	seeds := cfg.seeds(3, 2)
+	var res F1Result
+	w := newTab(cfg.out())
+	fmt.Fprintln(w, "F1: LogVis vs SeqVis baseline (ASYNC, uniform; mean epochs)")
+	fmt.Fprintln(w, "N\tlogvis\tseqvis\tratio")
+	for _, n := range ns {
+		ls, _, err := runBatch(logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		if err != nil {
+			return res, err
+		}
+		bs, _, err := runBatch(seqVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		if err != nil {
+			return res, err
+		}
+		res.Ns = append(res.Ns, n)
+		res.LogVis = append(res.LogVis, ls.Epochs.Mean)
+		res.Baseline = append(res.Baseline, bs.Epochs.Mean)
+		ratio := bs.Epochs.Mean / ls.Epochs.Mean
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.2f×\n", n, ls.Epochs.Mean, bs.Epochs.Mean, ratio)
+	}
+	last := len(res.Ns) - 1
+	res.SpeedupAtMax = res.Baseline[last] / res.LogVis[last]
+	xs := make([]float64, len(res.Ns))
+	for i, n := range res.Ns {
+		xs[i] = float64(n)
+	}
+	var err error
+	if res.LogGrowth, err = stats.ClassifyGrowth(xs, res.LogVis); err != nil {
+		return res, err
+	}
+	if res.BaseGrowth, err = stats.ClassifyGrowth(xs, res.Baseline); err != nil {
+		return res, err
+	}
+	fmt.Fprintf(w, "growth\tlogvis best=%s\tseqvis best=%s\tspeedup@N=%d: %.1f×\n",
+		res.LogGrowth.Best, res.BaseGrowth.Best, res.Ns[last], res.SpeedupAtMax)
+	return res, w.Flush()
+}
+
+// ---------------------------------------------------------------------
+// F2 — scheduler sensitivity
+
+// F2Result reports experiment F2.
+type F2Result struct {
+	Rows map[string]float64 // scheduler -> mean epochs
+}
+
+// F2Schedulers measures LogVis epochs under each scheduler at fixed N.
+func F2Schedulers(cfg Config) (F2Result, error) {
+	n := 64
+	if cfg.Quick {
+		n = 32
+	}
+	seeds := cfg.seeds(4, 2)
+	res := F2Result{Rows: map[string]float64{}}
+	w := newTab(cfg.out())
+	fmt.Fprintf(w, "F2: LogVis epochs per scheduler (uniform, N=%d)\n", n)
+	fmt.Fprintln(w, "scheduler\tepochs(mean)\tepochs(max)\treached")
+	for _, schedName := range []string{"fsync", "ssync", "async-random", "async-stale"} {
+		st, _, err := runBatch(logVis, schedName, config.Uniform, n, seeds, cfg.MaxEpochs)
+		if err != nil {
+			return res, err
+		}
+		res.Rows[schedName] = st.Epochs.Mean
+		fmt.Fprintf(w, "%s\t%.1f\t%.0f\t%d/%d\n",
+			schedName, st.Epochs.Mean, st.Epochs.Max, st.Reached, st.Runs)
+	}
+	return res, w.Flush()
+}
+
+// ---------------------------------------------------------------------
+// F3 — the BDCP doubling primitive
+
+// F3Result reports experiment F3.
+type F3Result struct {
+	Ks     []int
+	Rounds []float64
+	Bound  []int
+	Growth stats.GrowthReport
+}
+
+// F3BDCP measures Beacon-Directed Curve Positioning rounds against the
+// number of robots to place: rounds ≈ log₂ k.
+func F3BDCP(cfg Config) (F3Result, error) {
+	ks := cfg.ns([]int{4, 8, 16, 32, 64, 128, 256, 512}, []int{4, 16, 64})
+	seeds := cfg.seeds(5, 2)
+	var res F3Result
+	w := newTab(cfg.out())
+	fmt.Fprintln(w, "F3: BDCP placement rounds vs robots to place")
+	fmt.Fprintln(w, "k\trounds(mean)\tdoubling bound")
+	curve := bdcp.ArcCurve{Arc: geom.ArcThrough(geom.Pt(0, 0), geom.Pt(1000, 0), -40)}
+	for _, k := range ks {
+		var sum float64
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			landers := make([]geom.Point, k)
+			for i := range landers {
+				landers[i] = geom.Pt(rng.Float64()*1000, -10-rng.Float64()*300)
+			}
+			r, err := bdcp.Simulate(curve, landers, bdcp.Options{})
+			if err != nil {
+				return res, err
+			}
+			sum += float64(r.Rounds)
+		}
+		mean := sum / float64(seeds)
+		res.Ks = append(res.Ks, k)
+		res.Rounds = append(res.Rounds, mean)
+		res.Bound = append(res.Bound, bdcp.DoublingBound(k))
+		fmt.Fprintf(w, "%d\t%.1f\t%d\n", k, mean, bdcp.DoublingBound(k))
+	}
+	xs := make([]float64, len(res.Ks))
+	for i, k := range res.Ks {
+		xs[i] = float64(k)
+	}
+	growth, err := stats.ClassifyGrowth(xs, res.Rounds)
+	if err != nil {
+		return res, err
+	}
+	res.Growth = growth
+	fmt.Fprintf(w, "fit\tbest=%s (log R²=%.3f, linear R²=%.3f)\t\n",
+		growth.Best, growth.Log.R2, growth.Linear.R2)
+	return res, w.Flush()
+}
+
+// ---------------------------------------------------------------------
+// F4 — workload ablation
+
+// F4Result reports experiment F4.
+type F4Result struct {
+	Rows map[config.Family]float64 // family -> mean epochs
+}
+
+// F4Workloads measures LogVis epochs per initial-configuration family.
+func F4Workloads(cfg Config) (F4Result, error) {
+	n := 64
+	if cfg.Quick {
+		n = 32
+	}
+	seeds := cfg.seeds(4, 2)
+	res := F4Result{Rows: map[config.Family]float64{}}
+	w := newTab(cfg.out())
+	fmt.Fprintf(w, "F4: LogVis epochs per workload family (ASYNC, N=%d)\n", n)
+	fmt.Fprintln(w, "family\tepochs(mean)\tdist/robot\treached")
+	for _, fam := range config.Families() {
+		st, _, err := runBatch(logVis, "async-random", fam, n, seeds, cfg.MaxEpochs)
+		if err != nil {
+			return res, err
+		}
+		res.Rows[fam] = st.Epochs.Mean
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%d/%d\n",
+			fam, st.Epochs.Mean, st.DistPerBot.Mean, st.Reached, st.Runs)
+	}
+	return res, w.Flush()
+}
+
+// ---------------------------------------------------------------------
+// F5 — the goroutine realization
+
+// F5Result reports experiment F5.
+type F5Result struct {
+	Ns      []int
+	Wall    []time.Duration
+	Reached []bool
+}
+
+// F5Goroutines runs LogVis with one goroutine per robot and measures
+// wall-clock time to stabilization.
+func F5Goroutines(cfg Config) (F5Result, error) {
+	ns := cfg.ns([]int{8, 16, 32, 64}, []int{8, 16})
+	var res F5Result
+	w := newTab(cfg.out())
+	fmt.Fprintln(w, "F5: goroutine-per-robot runtime (LogVis, uniform)")
+	fmt.Fprintln(w, "N\twall\tcycles\tepochs\treached")
+	for _, n := range ns {
+		pts := config.Generate(config.Uniform, n, 1)
+		r, err := rt.Run(logVis(), pts, rt.Options{
+			Seed:      1,
+			MaxWall:   60 * time.Second,
+			MeanDelay: 100 * time.Microsecond,
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Ns = append(res.Ns, n)
+		res.Wall = append(res.Wall, r.Wall)
+		res.Reached = append(res.Reached, r.Reached)
+		fmt.Fprintf(w, "%d\t%v\t%d\t%d\t%v\n",
+			n, r.Wall.Round(time.Millisecond), r.Cycles, r.Epochs, r.Reached)
+	}
+	return res, w.Flush()
+}
+
+// ---------------------------------------------------------------------
+// F6 — movement cost ablation
+
+// F6Result reports experiment F6.
+type F6Result struct {
+	Ns           []int
+	LogVisDist   []float64 // mean distance per robot
+	BaselineDist []float64
+	LogVisMoves  []float64 // mean moves per robot
+	BaseMoves    []float64
+}
+
+// F6Movement compares total movement cost (distance and move count per
+// robot) between LogVis and the baseline.
+func F6Movement(cfg Config) (F6Result, error) {
+	ns := cfg.ns([]int{16, 32, 64}, []int{16, 32})
+	seeds := cfg.seeds(3, 2)
+	var res F6Result
+	w := newTab(cfg.out())
+	fmt.Fprintln(w, "F6: movement cost per robot (ASYNC, uniform)")
+	fmt.Fprintln(w, "N\tlogvis dist\tseqvis dist\tlogvis moves\tseqvis moves")
+	for _, n := range ns {
+		ls, _, err := runBatch(logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		if err != nil {
+			return res, err
+		}
+		bs, _, err := runBatch(seqVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		if err != nil {
+			return res, err
+		}
+		res.Ns = append(res.Ns, n)
+		res.LogVisDist = append(res.LogVisDist, ls.DistPerBot.Mean)
+		res.BaselineDist = append(res.BaselineDist, bs.DistPerBot.Mean)
+		res.LogVisMoves = append(res.LogVisMoves, ls.Moves.Mean)
+		res.BaseMoves = append(res.BaseMoves, bs.Moves.Mean)
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.2f\t%.2f\n",
+			n, ls.DistPerBot.Mean, bs.DistPerBot.Mean, ls.Moves.Mean, bs.Moves.Mean)
+	}
+	return res, w.Flush()
+}

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"luxvis/internal/svgx"
+)
+
+// Figures runs the chartable experiments (T1, F1, F3) under cfg and
+// writes one SVG figure each into dir. It returns the written paths.
+func Figures(cfg Config, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	write := func(name string, series []svgx.Series, opt svgx.ChartOptions) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := svgx.RenderLineChart(f, series, opt); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+
+	// T1: epochs vs N with the fitted log curve overlaid.
+	t1, err := T1LogGrowth(cfg)
+	if err != nil {
+		return written, err
+	}
+	var xs, ys, fitYs []float64
+	for _, c := range t1.Cells {
+		xs = append(xs, float64(c.N))
+		ys = append(ys, c.Stats.Epochs.Mean)
+	}
+	for _, x := range xs {
+		fitYs = append(fitYs, t1.Growth.Log.Slope*log2(x)+t1.Growth.Log.Intercept)
+	}
+	if err := write("t1-epochs-vs-n.svg", []svgx.Series{
+		{Name: "measured", Xs: xs, Ys: ys},
+		{Name: fmt.Sprintf("log fit R²=%.2f", t1.Growth.Log.R2), Xs: xs, Ys: fitYs},
+	}, svgx.ChartOptions{
+		Title: "T1: LogVis epochs vs N (ASYNC)", XLabel: "N (log scale)",
+		YLabel: "epochs", LogX: true,
+	}); err != nil {
+		return written, err
+	}
+
+	// F1: the headline comparison.
+	f1, err := F1VsBaseline(cfg)
+	if err != nil {
+		return written, err
+	}
+	fxs := make([]float64, len(f1.Ns))
+	for i, n := range f1.Ns {
+		fxs[i] = float64(n)
+	}
+	if err := write("f1-logvis-vs-baseline.svg", []svgx.Series{
+		{Name: "LogVis (O(log N))", Xs: fxs, Ys: f1.LogVis},
+		{Name: "SeqVis (Θ(N))", Xs: fxs, Ys: f1.Baseline},
+	}, svgx.ChartOptions{
+		Title: "F1: asynchronous epochs, LogVis vs SeqVis", XLabel: "N (log scale)",
+		YLabel: "epochs", LogX: true,
+	}); err != nil {
+		return written, err
+	}
+
+	// F3: BDCP rounds vs the doubling bound.
+	f3, err := F3BDCP(cfg)
+	if err != nil {
+		return written, err
+	}
+	kxs := make([]float64, len(f3.Ks))
+	bound := make([]float64, len(f3.Ks))
+	for i, k := range f3.Ks {
+		kxs[i] = float64(k)
+		bound[i] = float64(f3.Bound[i])
+	}
+	if err := write("f3-bdcp-rounds.svg", []svgx.Series{
+		{Name: "measured rounds", Xs: kxs, Ys: f3.Rounds},
+		{Name: "⌈log₂(k+1)⌉+1 bound", Xs: kxs, Ys: bound},
+	}, svgx.ChartOptions{
+		Title: "F3: BDCP placement rounds vs k", XLabel: "k (log scale)",
+		YLabel: "rounds", LogX: true,
+	}); err != nil {
+		return written, err
+	}
+	// F7: convergence dynamics of one run — corners vs epoch.
+	f7, err := F7Convergence(cfg)
+	if err != nil {
+		return written, err
+	}
+	var exs, corners, interior []float64
+	for _, smp := range f7.Samples {
+		exs = append(exs, float64(smp.Epoch))
+		corners = append(corners, float64(smp.Corners))
+		interior = append(interior, float64(smp.Interior))
+	}
+	if len(exs) >= 2 {
+		if err := write("f7-convergence.svg", []svgx.Series{
+			{Name: "hull corners", Xs: exs, Ys: corners},
+			{Name: "interior robots", Xs: exs, Ys: interior},
+		}, svgx.ChartOptions{
+			Title:  fmt.Sprintf("F7: convergence dynamics (N=%d)", f7.N),
+			XLabel: "epoch", YLabel: "robots",
+		}); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+func log2(x float64) float64 { return math.Log2(x) }

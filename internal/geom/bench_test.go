@@ -1,0 +1,94 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	return pts
+}
+
+func BenchmarkConvexHull(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			pts := benchPoints(n, 1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = ConvexHull(pts)
+			}
+		})
+	}
+}
+
+func BenchmarkVisibleSetFast(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			pts := benchPoints(n, 2)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = VisibleSetFast(pts, i%n)
+			}
+		})
+	}
+}
+
+func BenchmarkVisibleFromNaive(b *testing.B) {
+	// The O(n²) reference, for the speedup comparison with the fast
+	// variant above.
+	pts := benchPoints(512, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = VisibleFrom(pts, i%512)
+	}
+}
+
+func BenchmarkCompleteVisibilityFast(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			pts := benchPoints(n, 3)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = CompleteVisibilityFast(pts)
+			}
+		})
+	}
+}
+
+func BenchmarkMinEnclosingCircle(b *testing.B) {
+	pts := benchPoints(512, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MinEnclosingCircle(pts)
+	}
+}
+
+func BenchmarkSegmentIntersect(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	segs := make([]Segment, 256)
+	for i := range segs {
+		segs[i] = Seg(Pt(rng.Float64()*100, rng.Float64()*100), Pt(rng.Float64()*100, rng.Float64()*100))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := segs[i%256]
+		u := segs[(i*7+1)%256]
+		_, _ = s.Intersect(u)
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 64:
+		return "n64"
+	case 512:
+		return "n512"
+	default:
+		return "n"
+	}
+}

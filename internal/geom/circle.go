@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Circle is a circle given by center and radius.
+type Circle struct {
+	Center Point
+	R      float64
+}
+
+// Contains reports whether p lies in the closed disk.
+func (c Circle) Contains(p Point) bool { return c.Center.Dist(p) <= c.R+Eps }
+
+// OnBoundary reports whether p lies on the circle within tolerance.
+func (c Circle) OnBoundary(p Point) bool {
+	return math.Abs(c.Center.Dist(p)-c.R) <= Eps*math.Max(1, c.R)
+}
+
+// PointAt returns the boundary point at the given polar angle.
+func (c Circle) PointAt(angle float64) Point {
+	s, cos := math.Sincos(angle)
+	return Point{c.Center.X + c.R*cos, c.Center.Y + c.R*s}
+}
+
+// AngleOf returns the polar angle of p as seen from the center.
+func (c Circle) AngleOf(p Point) float64 { return p.Sub(c.Center).Angle() }
+
+// String formats the circle for diagnostics.
+func (c Circle) String() string { return fmt.Sprintf("circle(%v, r=%.6g)", c.Center, c.R) }
+
+// Circumcircle returns the circle through three non-collinear points.
+// ok is false when the points are (near-)collinear.
+func Circumcircle(a, b, c Point) (Circle, bool) {
+	d := 2 * (a.X*(b.Y-c.Y) + b.X*(c.Y-a.Y) + c.X*(a.Y-b.Y))
+	scale := math.Max(1, math.Max(a.Dist(b), a.Dist(c)))
+	if math.Abs(d) <= Eps*scale*scale {
+		return Circle{}, false
+	}
+	a2, b2, c2 := a.Norm2(), b.Norm2(), c.Norm2()
+	ux := (a2*(b.Y-c.Y) + b2*(c.Y-a.Y) + c2*(a.Y-b.Y)) / d
+	uy := (a2*(c.X-b.X) + b2*(a.X-c.X) + c2*(b.X-a.X)) / d
+	center := Point{ux, uy}
+	return Circle{Center: center, R: center.Dist(a)}, true
+}
+
+// Arc is a minor circular arc from A to B that bulges toward the side of
+// chord AB indicated at construction. Arcs are the curves of
+// Beacon-Directed Curve Positioning: strictly convex, so any number of
+// distinct points placed on one arc are in strictly convex position with
+// the arc's neighbours.
+type Arc struct {
+	Circle Circle
+	// A and B are the chord endpoints.
+	A, B Point
+	// angA and angB are the polar angles of A and B from the center,
+	// with angB adjusted so that sweeping from angA to angB traverses
+	// the arc (minor side chosen at construction).
+	angA, angB float64
+}
+
+// ArcThrough builds the shallow arc with chord a→b and sagitta (maximum
+// height above the chord) h, bulging toward the left of the directed
+// chord a→b when h > 0 and toward the right when h < 0. It panics when a
+// and b coincide or h is zero: a flat "arc" is a caller bug.
+func ArcThrough(a, b Point, h float64) Arc {
+	if a.Eq(b) {
+		panic("geom: ArcThrough with coincident chord endpoints")
+	}
+	if h == 0 {
+		panic("geom: ArcThrough with zero sagitta")
+	}
+	half := a.Dist(b) / 2
+	// r from sagitta: r = (half² + h²) / (2h), center on the opposite
+	// side of the chord from the bulge.
+	ah := math.Abs(h)
+	r := (half*half + ah*ah) / (2 * ah)
+	mid := a.Mid(b)
+	n := b.Sub(a).Perp().Unit() // left normal of a→b
+	side := 1.0
+	if h < 0 {
+		side = -1
+	}
+	center := mid.Add(n.Mul(-side * (r - ah)))
+	c := Circle{Center: center, R: r}
+	arc := Arc{Circle: c, A: a, B: b}
+	arc.angA = c.AngleOf(a)
+	arc.angB = c.AngleOf(b)
+	// The bulge point sits at mid + side·h·n; make sure the parametric
+	// sweep from angA to angB passes through it by choosing the sweep
+	// direction whose midpoint angle lands on the bulge.
+	bulge := mid.Add(n.Mul(side * ah))
+	sweep := normAngle(arc.angB - arc.angA)
+	midAngle := arc.angA + sweep/2
+	if c.PointAt(midAngle).Dist(bulge) > c.PointAt(midAngle+math.Pi).Dist(bulge) {
+		// Wrong side; sweep the other way.
+		if sweep > 0 {
+			sweep -= 2 * math.Pi
+		} else {
+			sweep += 2 * math.Pi
+		}
+	}
+	arc.angB = arc.angA + sweep
+	return arc
+}
+
+// normAngle maps an angle to (-π, π].
+func normAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// At returns the arc point at parameter t ∈ [0, 1], with At(0) = A and
+// At(1) = B.
+func (arc Arc) At(t float64) Point {
+	return arc.Circle.PointAt(arc.angA + t*(arc.angB-arc.angA))
+}
+
+// Sagitta returns the maximum height of the arc above its chord.
+func (arc Arc) Sagitta() float64 {
+	mid := arc.At(0.5)
+	return DistToLine(arc.A, arc.B, mid)
+}
+
+// ParamOf returns the parameter t of the arc point nearest to p, clamped
+// to [0, 1].
+func (arc Arc) ParamOf(p Point) float64 {
+	ang := arc.Circle.AngleOf(p)
+	sweep := arc.angB - arc.angA
+	if sweep == 0 {
+		return 0
+	}
+	d := ang - arc.angA
+	// Choose the representative of d (mod 2π) closest to the sweep range.
+	for d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	for d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	t := d / sweep
+	return math.Max(0, math.Min(1, t))
+}

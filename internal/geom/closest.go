@@ -1,0 +1,122 @@
+package geom
+
+import (
+	"math"
+	"slices"
+)
+
+// ClosestPair returns the indices of the two nearest points of pts and
+// their distance, via the classic divide-and-conquer in O(n log n). It
+// panics on fewer than two points. MinPairwiseDist delegates here above
+// a size threshold; the engine's end-of-run minimum-separation metric at
+// N in the thousands is the consumer that needed better than O(n²).
+func ClosestPair(pts []Point) (i, j int, dist float64) {
+	if len(pts) < 2 {
+		panic("geom: ClosestPair needs at least two points")
+	}
+	idx := make([]int, len(pts))
+	for k := range idx {
+		idx[k] = k
+	}
+	// Sort indices by x (then y) once; recursion partitions this order.
+	slices.SortFunc(idx, func(a, b int) int {
+		switch {
+		case pts[a].Less(pts[b]):
+			return -1
+		case pts[b].Less(pts[a]):
+			return 1
+		default:
+			return 0
+		}
+	})
+	buf := make([]int, len(pts))
+	i, j, d2 := cpRec(pts, idx, buf)
+	return i, j, math.Sqrt(d2)
+}
+
+// cpRec solves the closest pair over the x-sorted index slice, returning
+// the best pair and squared distance. On return, idx is re-sorted by y
+// (the merge step of the classic algorithm).
+func cpRec(pts []Point, idx []int, buf []int) (int, int, float64) {
+	n := len(idx)
+	if n <= 3 {
+		bi, bj, bd := -1, -1, math.Inf(1)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if d := pts[idx[a]].Dist2(pts[idx[b]]); d < bd {
+					bi, bj, bd = idx[a], idx[b], d
+				}
+			}
+		}
+		// Sort the tiny slice by y for the parent's merge.
+		slices.SortFunc(idx, func(a, b int) int {
+			switch {
+			case pts[a].Y < pts[b].Y:
+				return -1
+			case pts[a].Y > pts[b].Y:
+				return 1
+			default:
+				return 0
+			}
+		})
+		return bi, bj, bd
+	}
+
+	mid := n / 2
+	midX := pts[idx[mid]].X
+	li, lj, ld := cpRec(pts, idx[:mid], buf[:mid])
+	ri, rj, rd := cpRec(pts, idx[mid:], buf[mid:])
+	bi, bj, bd := li, lj, ld
+	if rd < bd {
+		bi, bj, bd = ri, rj, rd
+	}
+
+	// Merge the two y-sorted halves into buf, then copy back.
+	merge(pts, idx[:mid], idx[mid:], buf)
+	copy(idx, buf[:n])
+
+	// Strip: points within sqrt(bd) of the dividing line, in y order;
+	// each needs comparing to at most the next few strip members.
+	strip := make([]int, 0, n)
+	for _, id := range idx {
+		dx := pts[id].X - midX
+		if dx*dx < bd {
+			strip = append(strip, id)
+		}
+	}
+	for a := 0; a < len(strip); a++ {
+		for b := a + 1; b < len(strip); b++ {
+			dy := pts[strip[b]].Y - pts[strip[a]].Y
+			if dy*dy >= bd {
+				break
+			}
+			if d := pts[strip[a]].Dist2(pts[strip[b]]); d < bd {
+				bi, bj, bd = strip[a], strip[b], d
+			}
+		}
+	}
+	return bi, bj, bd
+}
+
+// merge combines two y-sorted index runs into out (stable).
+func merge(pts []Point, a, b, out []int) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if pts[a[i]].Y <= pts[b[j]].Y {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	for ; i < len(a); i++ {
+		out[k] = a[i]
+		k++
+	}
+	for ; j < len(b); j++ {
+		out[k] = b[j]
+		k++
+	}
+}

@@ -1,0 +1,85 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func bruteClosest(pts []Point) (int, int, float64) {
+	bi, bj, bd := -1, -1, math.Inf(1)
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if d := pts[i].Dist(pts[j]); d < bd {
+				bi, bj, bd = i, j, d
+			}
+		}
+	}
+	return bi, bj, bd
+}
+
+func TestClosestPairSmall(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(10, 0), Pt(10.5, 0.5), Pt(-4, 9)}
+	i, j, d := ClosestPair(pts)
+	if !(i == 1 && j == 2 || i == 2 && j == 1) {
+		t.Errorf("pair = %d,%d", i, j)
+	}
+	if !almostEq(d, math.Hypot(0.5, 0.5)) {
+		t.Errorf("dist = %v", d)
+	}
+}
+
+func TestClosestPairPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("single point did not panic")
+		}
+	}()
+	ClosestPair([]Point{Pt(1, 1)})
+}
+
+// Property: agrees with the O(n²) brute force on random and structured
+// inputs.
+func TestClosestPairAgreesWithBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(120)
+		pts := make([]Point, n)
+		for i := range pts {
+			switch trial % 3 {
+			case 0: // uniform
+				pts[i] = Pt(rng.Float64()*1000, rng.Float64()*1000)
+			case 1: // clustered (many near-ties)
+				pts[i] = Pt(rng.NormFloat64()*5+500, rng.NormFloat64()*5+500)
+			default: // collinear-ish (stresses the strip)
+				x := rng.Float64() * 1000
+				pts[i] = Pt(x, x*0.001+rng.Float64()*0.1)
+			}
+		}
+		_, _, got := ClosestPair(pts)
+		_, _, want := bruteClosest(pts)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d (n=%d): got %v, want %v", trial, n, got, want)
+		}
+	}
+}
+
+func TestMinPairwiseDistUsesClosestPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	pts := make([]Point, 700) // above the delegation threshold
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	_, _, want := bruteClosest(pts)
+	if got := MinPairwiseDist(pts); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MinPairwiseDist = %v, want %v", got, want)
+	}
+}
+
+func BenchmarkClosestPair(b *testing.B) {
+	pts := benchPoints(2048, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = ClosestPair(pts)
+	}
+}

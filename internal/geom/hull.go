@@ -1,0 +1,244 @@
+package geom
+
+import (
+	"slices"
+)
+
+// Hull is the convex hull of a point set. Corners holds the strict hull
+// corners in counterclockwise order, with no three consecutive corners
+// collinear; collinear boundary points are deliberately excluded from
+// Corners and classified as edge points instead, because the Complete
+// Visibility algorithms treat corners and edge robots differently.
+type Hull struct {
+	// Corners are the strict hull vertices in CCW order.
+	Corners []Point
+}
+
+// ConvexHull computes the convex hull of pts using Andrew's monotone
+// chain. Duplicate points are tolerated. For fewer than three distinct
+// points the hull degenerates: two corners for a segment, one for a point,
+// zero for an empty input.
+func ConvexHull(pts []Point) Hull {
+	p := make([]Point, len(pts))
+	copy(p, pts)
+	slices.SortFunc(p, func(a, b Point) int {
+		switch {
+		case a.Less(b):
+			return -1
+		case b.Less(a):
+			return 1
+		default:
+			return 0
+		}
+	})
+	// Remove duplicates.
+	uniq := p[:0]
+	for _, q := range p {
+		if len(uniq) == 0 || !uniq[len(uniq)-1].Eq(q) {
+			uniq = append(uniq, q)
+		}
+	}
+	p = uniq
+	n := len(p)
+	if n == 0 {
+		return Hull{}
+	}
+	if n == 1 {
+		return Hull{Corners: []Point{p[0]}}
+	}
+	if AllCollinear(p) {
+		lo, hi := LineExtremes(p)
+		if lo == hi {
+			return Hull{Corners: []Point{p[lo]}}
+		}
+		return Hull{Corners: []Point{p[lo], p[hi]}}
+	}
+
+	// Build lower then upper chain, keeping only strict left turns so
+	// that collinear boundary points are dropped from the corner list.
+	hull := make([]Point, 0, 2*n)
+	for _, q := range p {
+		for len(hull) >= 2 && Orient(hull[len(hull)-2], hull[len(hull)-1], q) != CCW {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, q)
+	}
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- {
+		q := p[i]
+		for len(hull) >= lower && Orient(hull[len(hull)-2], hull[len(hull)-1], q) != CCW {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, q)
+	}
+	return Hull{Corners: hull[:len(hull)-1]}
+}
+
+// Degenerate reports whether the hull has fewer than three corners (the
+// point set was empty, a single point, or fully collinear).
+func (h Hull) Degenerate() bool { return len(h.Corners) < 3 }
+
+// Area returns the (positive) area enclosed by the hull, zero for
+// degenerate hulls.
+func (h Hull) Area() float64 {
+	if h.Degenerate() {
+		return 0
+	}
+	var a float64
+	n := len(h.Corners)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		a += h.Corners[i].Cross(h.Corners[j])
+	}
+	if a < 0 {
+		a = -a
+	}
+	return a / 2
+}
+
+// Perimeter returns the total boundary length of the hull.
+func (h Hull) Perimeter() float64 {
+	n := len(h.Corners)
+	if n < 2 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += h.Corners[i].Dist(h.Corners[(i+1)%n])
+	}
+	return s
+}
+
+// PointClass classifies a point relative to a convex hull.
+type PointClass int
+
+const (
+	// HullCorner: the point is a strict corner of the hull.
+	HullCorner PointClass = iota
+	// HullEdge: the point lies on the hull boundary strictly between two
+	// corners.
+	HullEdge
+	// HullInterior: the point lies strictly inside the hull.
+	HullInterior
+	// HullOutside: the point lies strictly outside the hull.
+	HullOutside
+)
+
+func (c PointClass) String() string {
+	switch c {
+	case HullCorner:
+		return "corner"
+	case HullEdge:
+		return "edge"
+	case HullInterior:
+		return "interior"
+	case HullOutside:
+		return "outside"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify locates p relative to the hull. For degenerate hulls (all
+// points collinear) corners are the segment endpoints, edge points are the
+// interior of the segment, and everything off the line is outside.
+func (h Hull) Classify(p Point) PointClass {
+	n := len(h.Corners)
+	switch n {
+	case 0:
+		return HullOutside
+	case 1:
+		if h.Corners[0].Eq(p) {
+			return HullCorner
+		}
+		return HullOutside
+	case 2:
+		a, b := h.Corners[0], h.Corners[1]
+		if a.Eq(p) || b.Eq(p) {
+			return HullCorner
+		}
+		if StrictlyBetween(a, b, p) {
+			return HullEdge
+		}
+		return HullOutside
+	}
+	for _, c := range h.Corners {
+		if c.Eq(p) {
+			return HullCorner
+		}
+	}
+	inside := true
+	onEdge := false
+	for i := 0; i < n; i++ {
+		a, b := h.Corners[i], h.Corners[(i+1)%n]
+		switch Orient(a, b, p) {
+		case CW:
+			return HullOutside
+		case Collinear:
+			if OnSegment(a, b, p) {
+				onEdge = true
+			} else {
+				return HullOutside
+			}
+		case CCW:
+			// strictly inside this edge's half-plane; keep going
+		}
+		_ = inside
+	}
+	if onEdge {
+		return HullEdge
+	}
+	return HullInterior
+}
+
+// EdgeOf returns the hull edge (corner pair, CCW order) whose closed
+// segment contains p, for points classified HullEdge or HullCorner. ok is
+// false when p is not on the boundary.
+func (h Hull) EdgeOf(p Point) (a, b Point, ok bool) {
+	n := len(h.Corners)
+	if n == 2 {
+		if OnSegment(h.Corners[0], h.Corners[1], p) {
+			return h.Corners[0], h.Corners[1], true
+		}
+		return Point{}, Point{}, false
+	}
+	for i := 0; i < n; i++ {
+		a, b := h.Corners[i], h.Corners[(i+1)%n]
+		if OnSegment(a, b, p) {
+			return a, b, true
+		}
+	}
+	return Point{}, Point{}, false
+}
+
+// Contains reports whether p lies in the closed hull region.
+func (h Hull) Contains(p Point) bool {
+	c := h.Classify(p)
+	return c == HullCorner || c == HullEdge || c == HullInterior
+}
+
+// StrictlyConvexPosition reports whether every point of pts is a strict
+// corner of the hull of pts and all points are distinct. Points in
+// strictly convex position are pairwise mutually visible, which is the
+// terminal configuration of the Complete Visibility algorithms.
+func StrictlyConvexPosition(pts []Point) bool {
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Eq(pts[j]) {
+				return false
+			}
+		}
+	}
+	if len(pts) <= 2 {
+		return true
+	}
+	h := ConvexHull(pts)
+	if h.Degenerate() {
+		// Three or more collinear points are never strictly convex.
+		return false
+	}
+	if len(h.Corners) != len(pts) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,75 @@
+package geom
+
+// Smallest enclosing circle (Welzl's algorithm, deterministic order).
+// Used by the CircleVis reference algorithm, whose robots all move onto
+// the smallest circle enclosing the swarm, and by metrics.
+
+// MinEnclosingCircle returns the smallest circle containing every point
+// of pts. It panics on an empty input — the callers always have at least
+// the calling robot itself. The implementation is Welzl's move-to-front
+// algorithm processed in input order: deterministic (a requirement for
+// robot algorithms, which must be pure functions of their snapshot) with
+// expected near-linear behaviour on non-adversarial inputs.
+func MinEnclosingCircle(pts []Point) Circle {
+	if len(pts) == 0 {
+		panic("geom: MinEnclosingCircle of empty point set")
+	}
+	c := Circle{Center: pts[0], R: 0}
+	for i := 1; i < len(pts); i++ {
+		if c.Contains(pts[i]) {
+			continue
+		}
+		// pts[i] is on the boundary of the circle for pts[:i+1].
+		c = circleWithOne(pts[:i], pts[i])
+	}
+	return c
+}
+
+// circleWithOne returns the smallest circle containing pts with q on its
+// boundary.
+func circleWithOne(pts []Point, q Point) Circle {
+	c := Circle{Center: q, R: 0}
+	for i := 0; i < len(pts); i++ {
+		if c.Contains(pts[i]) {
+			continue
+		}
+		c = circleWithTwo(pts[:i], q, pts[i])
+	}
+	return c
+}
+
+// circleWithTwo returns the smallest circle containing pts with q1 and
+// q2 on its boundary.
+func circleWithTwo(pts []Point, q1, q2 Point) Circle {
+	c := circleFrom2(q1, q2)
+	for i := 0; i < len(pts); i++ {
+		if c.Contains(pts[i]) {
+			continue
+		}
+		c = circleFrom3(q1, q2, pts[i])
+	}
+	return c
+}
+
+// circleFrom2 is the circle with diameter q1–q2.
+func circleFrom2(q1, q2 Point) Circle {
+	center := q1.Mid(q2)
+	return Circle{Center: center, R: center.Dist(q1)}
+}
+
+// circleFrom3 is the circumcircle of three points, falling back to the
+// smallest two-point circle when they are (near-)collinear.
+func circleFrom3(a, b, c Point) Circle {
+	if cc, ok := Circumcircle(a, b, c); ok {
+		return cc
+	}
+	// Collinear: the diametral circle of the farthest pair.
+	best := circleFrom2(a, b)
+	if alt := circleFrom2(a, c); alt.R > best.R {
+		best = alt
+	}
+	if alt := circleFrom2(b, c); alt.R > best.R {
+		best = alt
+	}
+	return best
+}

@@ -1,0 +1,101 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMinEnclosingCircleBasic(t *testing.T) {
+	// Single point: zero circle.
+	c := MinEnclosingCircle([]Point{Pt(3, 4)})
+	if !c.Center.Eq(Pt(3, 4)) || c.R != 0 {
+		t.Errorf("single point circle = %v", c)
+	}
+	// Two points: diametral.
+	c = MinEnclosingCircle([]Point{Pt(0, 0), Pt(10, 0)})
+	if !c.Center.Eq(Pt(5, 0)) || !almostEq(c.R, 5) {
+		t.Errorf("two point circle = %v", c)
+	}
+	// Equilateral-ish triangle: circumcircle.
+	c = MinEnclosingCircle([]Point{Pt(0, 0), Pt(10, 0), Pt(5, 8)})
+	for _, p := range []Point{Pt(0, 0), Pt(10, 0), Pt(5, 8)} {
+		if !c.Contains(p) {
+			t.Errorf("triangle point %v outside SEC %v", p, c)
+		}
+	}
+	// Obtuse triangle: SEC is the diametral circle of the long side,
+	// strictly smaller than the circumcircle.
+	c = MinEnclosingCircle([]Point{Pt(0, 0), Pt(10, 0), Pt(5, 1)})
+	if !almostEq(c.R, 5) {
+		t.Errorf("obtuse triangle SEC radius = %v, want 5", c.R)
+	}
+}
+
+func TestMinEnclosingCirclePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty input did not panic")
+		}
+	}()
+	MinEnclosingCircle(nil)
+}
+
+// Property: the SEC contains every input point, and shrinking it by any
+// meaningful margin loses one.
+func TestMinEnclosingCircleProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*1000, rng.Float64()*1000)
+		}
+		c := MinEnclosingCircle(pts)
+		// Containment.
+		for _, p := range pts {
+			if c.Center.Dist(p) > c.R+1e-7*(1+c.R) {
+				t.Fatalf("trial %d: point %v outside SEC %v", trial, p, c)
+			}
+		}
+		// Minimality: some point is (nearly) on the boundary.
+		onBoundary := false
+		for _, p := range pts {
+			if c.Center.Dist(p) > c.R-1e-6*(1+c.R) {
+				onBoundary = true
+				break
+			}
+		}
+		if !onBoundary {
+			t.Fatalf("trial %d: no support point on the SEC boundary", trial)
+		}
+	}
+}
+
+// Property: the SEC is invariant under input permutation.
+func TestMinEnclosingCircleOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(30)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		c1 := MinEnclosingCircle(pts)
+		shuffled := append([]Point(nil), pts...)
+		rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		c2 := MinEnclosingCircle(shuffled)
+		if math.Abs(c1.R-c2.R) > 1e-6*(1+c1.R) || c1.Center.Dist(c2.Center) > 1e-6*(1+c1.R) {
+			t.Fatalf("trial %d: SEC depends on order: %v vs %v", trial, c1, c2)
+		}
+	}
+}
+
+func TestMinEnclosingCircleCollinear(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(3, 3), Pt(7, 7), Pt(10, 10)}
+	c := MinEnclosingCircle(pts)
+	want := Pt(5, 5)
+	if c.Center.Dist(want) > 1e-9 || !almostEq(c.R, want.Dist(Pt(0, 0))) {
+		t.Errorf("collinear SEC = %v", c)
+	}
+}

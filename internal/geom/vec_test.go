@@ -1,0 +1,195 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) <= 1e-9*math.Max(1, math.Abs(a)+math.Abs(b)) }
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(3, 4), Pt(-1, 2)
+	if got := p.Add(q); !got.Eq(Pt(2, 6)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); !got.Eq(Pt(4, 2)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Mul(2); !got.Eq(Pt(6, 8)) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := p.Neg(); !got.Eq(Pt(-3, -4)) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := p.Dot(q); got != 3*-1+4*2 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != 3*2-4*-1 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := p.Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := p.Dist(q); !almostEq(got, math.Hypot(4, 2)) {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestUnitAndPerp(t *testing.T) {
+	p := Pt(3, 4)
+	u := p.Unit()
+	if !almostEq(u.Norm(), 1) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	if got := (Point{}).Unit(); !got.Eq(Point{}) {
+		t.Errorf("Unit of zero = %v", got)
+	}
+	perp := p.Perp()
+	if got := p.Dot(perp); got != 0 {
+		t.Errorf("Perp not orthogonal: dot = %v", got)
+	}
+	if p.Cross(perp) <= 0 {
+		t.Error("Perp should rotate counterclockwise")
+	}
+}
+
+func TestRotate(t *testing.T) {
+	p := Pt(1, 0)
+	q := p.Rotate(math.Pi / 2)
+	if !almostEq(q.X, 0) || !almostEq(q.Y, 1) {
+		t.Errorf("Rotate 90° = %v", q)
+	}
+	c := Pt(5, 5)
+	r := Pt(6, 5).RotateAround(c, math.Pi)
+	if !almostEq(r.X, 4) || !almostEq(r.Y, 5) {
+		t.Errorf("RotateAround 180° = %v", r)
+	}
+}
+
+func TestLerpMid(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 20)
+	if got := a.Lerp(b, 0); !got.Eq(a) {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); !got.Eq(b) {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Mid(b); !got.Eq(Pt(5, 10)) {
+		t.Errorf("Mid = %v", got)
+	}
+}
+
+func TestLess(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want bool
+	}{
+		{Pt(0, 0), Pt(1, 0), true},
+		{Pt(1, 0), Pt(0, 0), false},
+		{Pt(0, 0), Pt(0, 1), true},
+		{Pt(0, 1), Pt(0, 0), false},
+		{Pt(0, 0), Pt(0, 0), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !Pt(1, 2).IsFinite() {
+		t.Error("finite point reported non-finite")
+	}
+	for _, p := range []Point{
+		{math.NaN(), 0}, {0, math.NaN()},
+		{math.Inf(1), 0}, {0, math.Inf(-1)},
+	} {
+		if p.IsFinite() {
+			t.Errorf("%v reported finite", p)
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if got := Centroid(pts); !got.Eq(Pt(1, 1)) {
+		t.Errorf("Centroid = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Centroid of empty set did not panic")
+		}
+	}()
+	Centroid(nil)
+}
+
+func TestBoundingBox(t *testing.T) {
+	pts := []Point{Pt(3, -1), Pt(-2, 4), Pt(0, 0)}
+	min, max := BoundingBox(pts)
+	if !min.Eq(Pt(-2, -1)) || !max.Eq(Pt(3, 4)) {
+		t.Errorf("BoundingBox = %v %v", min, max)
+	}
+}
+
+func TestMinPairwiseDist(t *testing.T) {
+	if got := MinPairwiseDist([]Point{Pt(0, 0)}); !math.IsInf(got, 1) {
+		t.Errorf("single point min dist = %v", got)
+	}
+	pts := []Point{Pt(0, 0), Pt(3, 0), Pt(3, 1)}
+	if got := MinPairwiseDist(pts); got != 1 {
+		t.Errorf("min dist = %v", got)
+	}
+}
+
+// Property: rotation preserves norms and pairwise distances.
+func TestRotatePreservesNorm(t *testing.T) {
+	f := func(x, y, angle float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(angle) ||
+			math.Abs(x) > 1e6 || math.Abs(y) > 1e6 {
+			return true
+		}
+		p := Pt(x, y)
+		return almostEq(p.Rotate(angle).Norm(), p.Norm())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add and Sub are inverse.
+func TestAddSubInverse(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		for _, v := range []float64{ax, ay, bx, by} {
+			if math.IsNaN(v) || math.Abs(v) > 1e100 {
+				return true // out of the library's operating range
+			}
+		}
+		a, b := Pt(ax, ay), Pt(bx, by)
+		// Exact in magnitude-similar ranges; tolerant otherwise
+		// (floating point absorption).
+		got := a.Add(b).Sub(b)
+		return got.Dist(a) <= 1e-6*math.Max(1, math.Max(a.Norm(), b.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Lerp endpoints are exact and midpoints symmetric.
+func TestLerpSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax+ay+bx+by) || math.Abs(ax)+math.Abs(ay)+math.Abs(bx)+math.Abs(by) > 1e9 {
+			return true
+		}
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return a.Mid(b).Eq(b.Mid(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

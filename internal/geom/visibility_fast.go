@@ -1,0 +1,160 @@
+package geom
+
+import (
+	"math"
+	"slices"
+)
+
+// This file implements the O(n² log n) Complete Visibility check used by
+// the engine at epoch boundaries, where the naive O(n³) predicate would
+// dominate the run time at swarm sizes in the thousands.
+//
+// The key observation: Complete Visibility fails iff some robot k has two
+// other robots collinear with it — if i and j lie on one line through k,
+// then either k is between them (k blocks the pair i,j) or one of i,j is
+// between k and the other (it blocks that pair). So CV ⟺ for every k,
+// the directions of all other robots from k, folded modulo π, are
+// pairwise distinct. Folding and sorting gives O(n log n) per robot.
+
+// angleFoldTol is the angular tolerance for treating two folded
+// directions as collinear candidates. Candidates are confirmed with the
+// cross-product predicate, so the tolerance only has to be loose enough
+// to never miss a true collinearity.
+const angleFoldTol = 1e-6
+
+// Triple records a collinear triple (A, B, Blocker): Blocker lies on the
+// line through A and B (not necessarily between them).
+type Triple struct {
+	A, B, Blocker int
+}
+
+// CollinearTriples returns, for each point k, the (i, j) pairs whose
+// directions from k fold to the same angle and that pass the
+// cross-product collinearity confirmation. If the result is empty the
+// point set has no three collinear points and Complete Visibility holds.
+// maxTriples truncates the scan (0 = unlimited) since one triple already
+// refutes CV.
+func CollinearTriples(pts []Point, maxTriples int) []Triple {
+	return collinearScan(pts, angleFoldTol, true, maxTriples)
+}
+
+// CollinearCandidates is the unconfirmed variant of CollinearTriples: it
+// returns every pair whose folded directions agree within tol, without
+// the float collinearity confirmation. The exact checker uses it as a
+// superset filter: every exactly-collinear triple has a folded-angle gap
+// far below any reasonable tol, so confirming only the candidates with
+// exact arithmetic decides Complete Visibility exactly.
+func CollinearCandidates(pts []Point, tol float64) []Triple {
+	if tol <= 0 {
+		tol = angleFoldTol
+	}
+	return collinearScan(pts, tol, false, 0)
+}
+
+func collinearScan(pts []Point, tol float64, confirm bool, maxTriples int) []Triple {
+	n := len(pts)
+	var out []Triple
+	type dir struct {
+		phi float64 // direction folded to [0, π)
+		idx int
+	}
+	dirs := make([]dir, 0, n)
+	emit := func(a, b, k int) bool {
+		if confirm && !AreCollinear(pts[k], pts[a], pts[b]) {
+			return false
+		}
+		out = append(out, Triple{A: a, B: b, Blocker: k})
+		return maxTriples > 0 && len(out) >= maxTriples
+	}
+	for k := 0; k < n; k++ {
+		dirs = dirs[:0]
+		for j := 0; j < n; j++ {
+			if j == k {
+				continue
+			}
+			d := pts[j].Sub(pts[k])
+			if d.Norm2() == 0 {
+				// Coincident points: report as a degenerate triple with
+				// the duplicate as blocker so callers fail the config.
+				out = append(out, Triple{A: k, B: j, Blocker: j})
+				continue
+			}
+			phi := math.Atan2(d.Y, d.X)
+			if phi < 0 {
+				phi += math.Pi
+			}
+			if phi >= math.Pi {
+				phi -= math.Pi
+			}
+			dirs = append(dirs, dir{phi: phi, idx: j})
+		}
+		slices.SortFunc(dirs, func(a, b dir) int {
+			switch {
+			case a.phi < b.phi:
+				return -1
+			case a.phi > b.phi:
+				return 1
+			default:
+				return 0
+			}
+		})
+		// Cluster the sorted angles into runs of near-equal direction and
+		// emit every pair within a run: adjacent-only comparison could
+		// miss a collinear pair separated by a third, almost-collinear
+		// direction sitting between them.
+		for i := 0; i < len(dirs); {
+			j := i + 1
+			for j < len(dirs) && dirs[j].phi-dirs[j-1].phi < tol {
+				j++
+			}
+			for a := i; a < j; a++ {
+				for b := a + 1; b < j; b++ {
+					if emit(dirs[a].idx, dirs[b].idx, k) {
+						return out
+					}
+				}
+			}
+			i = j
+		}
+		// Wrap-around: angles near 0 and near π fold to the same line.
+		// Pair the leading run with the trailing run when the folded gap
+		// closes, unless the whole set was a single run already.
+		if len(dirs) >= 2 && dirs[len(dirs)-1].phi-dirs[0].phi >= tol {
+			lo := 0
+			for lo+1 < len(dirs) && dirs[lo+1].phi-dirs[lo].phi < tol {
+				lo++
+			}
+			hi := len(dirs) - 1
+			for hi-1 >= 0 && dirs[hi].phi-dirs[hi-1].phi < tol {
+				hi--
+			}
+			if dirs[0].phi+math.Pi-dirs[len(dirs)-1].phi < tol && hi > lo {
+				for a := 0; a <= lo; a++ {
+					for b := hi; b < len(dirs); b++ {
+						if emit(dirs[a].idx, dirs[b].idx, k) {
+							return out
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CompleteVisibilityFast reports whether all points are distinct and
+// pairwise mutually visible, in O(n² log n). It agrees with
+// CompleteVisibility up to float tolerance; the engine's terminal
+// verification re-confirms suspicious triples with exact arithmetic.
+func CompleteVisibilityFast(pts []Point) bool {
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Eq(pts[j]) {
+				return false
+			}
+		}
+	}
+	// Any collinear triple implies some blocked pair (see file comment),
+	// and CV requires none.
+	return len(CollinearTriples(pts, 1)) == 0
+}

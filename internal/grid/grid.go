@@ -1,0 +1,153 @@
+// Package grid provides a uniform spatial hash over robot positions: an
+// incrementally-updatable index answering "which robots are within r of
+// this segment/point" without scanning the whole swarm. The engine uses
+// it to filter its per-sub-step collision checks — the exact predicates
+// in internal/exact remain the authority; the grid only shortlists
+// candidates, so it must never miss a point inside the query region
+// (false positives are fine, false negatives are not).
+package grid
+
+import (
+	"math"
+
+	"luxvis/internal/geom"
+)
+
+// Index is a uniform spatial hash of indexed points. Cell size is fixed
+// at construction; points move via Move. The index stores point IDs
+// (indices into the caller's position slice), not positions — the caller
+// remains the owner of the coordinates.
+type Index struct {
+	cell  float64
+	cells map[cellKey][]int32
+	pos   []geom.Point // last indexed position per id
+}
+
+type cellKey struct{ x, y int32 }
+
+// New creates an index for n points with the given cell size. Cell size
+// should be on the order of the typical query radius; the constructor
+// clamps non-positive values to 1.
+func New(n int, cellSize float64) *Index {
+	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		cellSize = 1
+	}
+	return &Index{
+		cell:  cellSize,
+		cells: make(map[cellKey][]int32, n),
+		pos:   make([]geom.Point, n),
+	}
+}
+
+// NewFor builds an index over the given positions with a cell size
+// derived from the bounding box and point count (≈ one point per cell
+// for uniform data).
+func NewFor(pts []geom.Point) *Index {
+	cell := 1.0
+	if len(pts) > 1 {
+		min, max := geom.BoundingBox(pts)
+		span := math.Max(max.X-min.X, max.Y-min.Y)
+		if span > 0 {
+			cell = span / math.Sqrt(float64(len(pts)))
+		}
+	}
+	idx := New(len(pts), cell)
+	for i, p := range pts {
+		idx.Insert(i, p)
+	}
+	return idx
+}
+
+// CellSize returns the index's cell edge length.
+func (ix *Index) CellSize() float64 { return ix.cell }
+
+func (ix *Index) key(p geom.Point) cellKey {
+	return cellKey{
+		x: int32(math.Floor(p.X / ix.cell)),
+		y: int32(math.Floor(p.Y / ix.cell)),
+	}
+}
+
+// Insert adds point id at p. Inserting an id twice without Remove is a
+// caller bug and corrupts the index.
+func (ix *Index) Insert(id int, p geom.Point) {
+	k := ix.key(p)
+	ix.cells[k] = append(ix.cells[k], int32(id))
+	if id >= len(ix.pos) {
+		grown := make([]geom.Point, id+1)
+		copy(grown, ix.pos)
+		ix.pos = grown
+	}
+	ix.pos[id] = p
+}
+
+// Remove deletes point id (at its last indexed position).
+func (ix *Index) Remove(id int) {
+	k := ix.key(ix.pos[id])
+	bucket := ix.cells[k]
+	for i, v := range bucket {
+		if v == int32(id) {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(ix.cells, k)
+	} else {
+		ix.cells[k] = bucket
+	}
+}
+
+// Move relocates point id to p, updating buckets only when the cell
+// changes (the common case of a short sub-step stays in place).
+func (ix *Index) Move(id int, p geom.Point) {
+	if ix.key(ix.pos[id]) == ix.key(p) {
+		ix.pos[id] = p
+		return
+	}
+	ix.Remove(id)
+	ix.Insert(id, p)
+}
+
+// NearSegment appends to out the ids of all indexed points within
+// `margin` of segment s (a superset — cell granularity may include
+// farther points; callers re-check precisely). The caller's buffer is
+// reused to avoid allocation in the engine's hot path.
+func (ix *Index) NearSegment(s geom.Segment, margin float64, out []int) []int {
+	pad := margin + ix.cell // cell slack guarantees no false negatives
+	minX := math.Min(s.A.X, s.B.X) - pad
+	maxX := math.Max(s.A.X, s.B.X) + pad
+	minY := math.Min(s.A.Y, s.B.Y) - pad
+	maxY := math.Max(s.A.Y, s.B.Y) + pad
+	lo := ix.key(geom.Pt(minX, minY))
+	hi := ix.key(geom.Pt(maxX, maxY))
+	// For long segments the AABB may cover many cells; fall back to a
+	// bucket walk only while it is profitable, else scan everything.
+	nCells := (int64(hi.x-lo.x) + 1) * (int64(hi.y-lo.y) + 1)
+	if nCells > int64(4*len(ix.pos)+16) {
+		for id, p := range ix.pos {
+			if s.Dist(p) <= margin+ix.cell {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	for cx := lo.x; cx <= hi.x; cx++ {
+		for cy := lo.y; cy <= hi.y; cy++ {
+			for _, id := range ix.cells[cellKey{cx, cy}] {
+				out = append(out, int(id))
+			}
+		}
+	}
+	return out
+}
+
+// Near appends the ids of all indexed points within r of p (superset
+// semantics as NearSegment).
+func (ix *Index) Near(p geom.Point, r float64, out []int) []int {
+	return ix.NearSegment(geom.Seg(p, p), r, out)
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return len(ix.pos) }

@@ -1,0 +1,129 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"luxvis/internal/geom"
+)
+
+func TestInsertRemoveMove(t *testing.T) {
+	ix := New(3, 10)
+	ix.Insert(0, geom.Pt(5, 5))
+	ix.Insert(1, geom.Pt(15, 5))
+	ix.Insert(2, geom.Pt(500, 500))
+
+	got := ix.Near(geom.Pt(5, 5), 1, nil)
+	if !contains(got, 0) {
+		t.Errorf("Near missed resident point: %v", got)
+	}
+	if contains(got, 2) {
+		t.Errorf("Near returned a far point: %v", got)
+	}
+
+	ix.Move(0, geom.Pt(505, 505))
+	got = ix.Near(geom.Pt(505, 505), 1, nil)
+	if !contains(got, 0) || !contains(got, 2) {
+		t.Errorf("after Move: %v", got)
+	}
+	got = ix.Near(geom.Pt(5, 5), 1, nil)
+	if contains(got, 0) {
+		t.Errorf("stale position still indexed: %v", got)
+	}
+
+	ix.Remove(1)
+	got = ix.Near(geom.Pt(15, 5), 1, nil)
+	if contains(got, 1) {
+		t.Errorf("removed point still indexed: %v", got)
+	}
+}
+
+func TestMoveWithinCell(t *testing.T) {
+	ix := New(1, 100)
+	ix.Insert(0, geom.Pt(10, 10))
+	ix.Move(0, geom.Pt(12, 13)) // same cell
+	if got := ix.Near(geom.Pt(12, 13), 1, nil); !contains(got, 0) {
+		t.Errorf("in-cell move lost the point: %v", got)
+	}
+}
+
+// The critical property: NearSegment never misses a point actually
+// within the margin of the segment (false negatives would silently
+// disable collision checks).
+func TestNearSegmentSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(100)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		}
+		ix := NewFor(pts)
+		seg := geom.Seg(
+			geom.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			geom.Pt(rng.Float64()*1000, rng.Float64()*1000),
+		)
+		margin := rng.Float64() * 50
+		got := ix.NearSegment(seg, margin, nil)
+		set := map[int]bool{}
+		for _, id := range got {
+			set[id] = true
+		}
+		for id, p := range pts {
+			if seg.Dist(p) <= margin && !set[id] {
+				t.Fatalf("trial %d: point %d at dist %.3f ≤ %.3f missed",
+					trial, id, seg.Dist(p), margin)
+			}
+		}
+	}
+}
+
+func TestNearSegmentLongSegmentFallback(t *testing.T) {
+	// A segment spanning a huge range triggers the full-scan fallback;
+	// superset semantics must hold there too.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1e6, 0), geom.Pt(5e5, 3)}
+	ix := New(len(pts), 1) // tiny cells force an enormous AABB cell count
+	for i, p := range pts {
+		ix.Insert(i, p)
+	}
+	got := ix.NearSegment(geom.Seg(geom.Pt(0, 0), geom.Pt(1e6, 0)), 5, nil)
+	for want := 0; want < 3; want++ {
+		if !contains(got, want) {
+			t.Errorf("fallback missed point %d: %v", want, got)
+		}
+	}
+}
+
+func TestNewForDegenerate(t *testing.T) {
+	// Single point and identical points must not divide by zero.
+	ix := NewFor([]geom.Point{geom.Pt(5, 5)})
+	if got := ix.Near(geom.Pt(5, 5), 1, nil); !contains(got, 0) {
+		t.Errorf("singleton index: %v", got)
+	}
+	ix2 := New(2, 0) // non-positive cell clamps
+	if ix2.CellSize() <= 0 {
+		t.Error("cell size not clamped")
+	}
+}
+
+func TestBufferReuse(t *testing.T) {
+	ix := NewFor([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)})
+	buf := make([]int, 0, 8)
+	out := ix.Near(geom.Pt(0, 0), 5, buf)
+	if len(out) == 0 {
+		t.Fatal("no results")
+	}
+	out2 := ix.Near(geom.Pt(0, 0), 5, out[:0])
+	if len(out2) != len(out) {
+		t.Errorf("buffer reuse changed results: %v vs %v", out2, out)
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

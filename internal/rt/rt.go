@@ -1,0 +1,272 @@
+// Package rt realizes the asynchronous robots-with-lights model with
+// real concurrency: one goroutine per robot, each free-running through
+// Look-Compute-Move cycles with randomized delays between stages and
+// between move sub-steps, over a mutex-guarded shared world. Where
+// internal/sim *adversarially schedules* asynchrony event by event, rt
+// lets the Go scheduler and timing jitter produce it — the same
+// algorithm binary runs unmodified in both. Experiment F5 uses this
+// runtime to show the algorithm tolerates genuine (not just simulated)
+// interleavings and to measure wall-clock scaling.
+package rt
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"luxvis/internal/geom"
+	"luxvis/internal/model"
+)
+
+// Options configures a concurrent run.
+type Options struct {
+	// Seed drives all per-robot randomized delays.
+	Seed int64
+	// MaxWall aborts the run after this wall-clock duration
+	// (default 30s).
+	MaxWall time.Duration
+	// MeanDelay is the average sleep between LCM stages (default
+	// 200µs). Larger values increase interleaving diversity and run
+	// time alike.
+	MeanDelay time.Duration
+	// SubSteps is the number of sub-segments a move is split into, with
+	// a sleep between each, so robots are routinely observed mid-move
+	// (default 3).
+	SubSteps int
+}
+
+// Result reports a concurrent run.
+type Result struct {
+	// Reached reports whether the swarm reached a stable Complete
+	// Visibility configuration before MaxWall.
+	Reached bool
+	// Epochs counts completed epochs (every robot finished ≥ 1 cycle).
+	Epochs int
+	// Cycles is the total number of completed LCM cycles.
+	Cycles int
+	// Wall is the elapsed wall-clock time.
+	Wall time.Duration
+	// Final is the terminal configuration.
+	Final []geom.Point
+	// FinalColors are the terminal lights.
+	FinalColors []model.Color
+}
+
+// world is the shared state; every access goes through mu.
+type world struct {
+	mu  sync.Mutex
+	pos []geom.Point
+	col []model.Color
+
+	// changeSeq increments on every observable change (position or
+	// color); robots record the sequence at Look so the monitor can
+	// detect stability.
+	changeSeq uint64
+	// cleanLookSeq[i] is the changeSeq at the Look of robot i's last
+	// completed cycle.
+	cleanLookSeq []uint64
+	// inFlight[i] marks robots between Compute-with-move and move end.
+	inFlight []bool
+	// cycles[i] counts completed cycles of robot i.
+	cycles []int
+}
+
+// Run executes algo from start with one goroutine per robot and returns
+// when the swarm stabilizes in Complete Visibility or MaxWall elapses.
+func Run(algo model.Algorithm, start []geom.Point, opt Options) (Result, error) {
+	if algo == nil {
+		return Result{}, errors.New("rt: nil algorithm")
+	}
+	n := len(start)
+	if n == 0 {
+		return Result{}, errors.New("rt: empty start configuration")
+	}
+	if opt.MaxWall <= 0 {
+		opt.MaxWall = 30 * time.Second
+	}
+	if opt.MeanDelay <= 0 {
+		opt.MeanDelay = 200 * time.Microsecond
+	}
+	if opt.SubSteps <= 0 {
+		opt.SubSteps = 3
+	}
+
+	w := &world{
+		pos:          append([]geom.Point(nil), start...),
+		col:          make([]model.Color, n),
+		cleanLookSeq: make([]uint64, n),
+		inFlight:     make([]bool, n),
+		cycles:       make([]int, n),
+	}
+	for i := range w.cleanLookSeq {
+		w.cleanLookSeq[i] = ^uint64(0) // never looked
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), opt.MaxWall)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			seed := int64(uint64(opt.Seed) ^ uint64(id)*0x9e3779b97f4a7c15)
+			robotLoop(ctx, w, algo, id, rand.New(rand.NewSource(seed)), opt)
+		}(i)
+	}
+
+	started := time.Now()
+	res := monitor(ctx, w, n)
+	cancel()
+	wg.Wait()
+
+	res.Wall = time.Since(started)
+	w.mu.Lock()
+	res.Final = append([]geom.Point(nil), w.pos...)
+	res.FinalColors = append([]model.Color(nil), w.col...)
+	total := 0
+	for _, c := range w.cycles {
+		total += c
+	}
+	res.Cycles = total
+	w.mu.Unlock()
+	return res, nil
+}
+
+// robotLoop free-runs one robot's LCM cycles until the context ends.
+func robotLoop(ctx context.Context, w *world, algo model.Algorithm, id int, rng *rand.Rand, opt Options) {
+	nap := func() bool {
+		d := time.Duration(rng.Int63n(int64(2*opt.MeanDelay) + 1))
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+			return true
+		}
+	}
+	for {
+		if !nap() {
+			return
+		}
+		// Look.
+		w.mu.Lock()
+		lookSeq := w.changeSeq
+		snap := snapshotLocked(w, id)
+		w.mu.Unlock()
+
+		if !nap() {
+			return
+		}
+		// Compute.
+		act := algo.Compute(snap)
+
+		// Publish the light.
+		w.mu.Lock()
+		if w.col[id] != act.Color {
+			w.col[id] = act.Color
+			w.changeSeq++
+		}
+		from := w.pos[id]
+		moving := !act.IsStay(from)
+		w.inFlight[id] = moving
+		w.mu.Unlock()
+
+		// Move in sub-steps.
+		if moving {
+			for s := 1; s <= opt.SubSteps; s++ {
+				if !nap() {
+					return
+				}
+				w.mu.Lock()
+				w.pos[id] = from.Lerp(act.Target, float64(s)/float64(opt.SubSteps))
+				w.changeSeq++
+				w.mu.Unlock()
+			}
+		}
+
+		// Cycle complete.
+		w.mu.Lock()
+		w.inFlight[id] = false
+		w.cleanLookSeq[id] = lookSeq
+		w.cycles[id]++
+		w.mu.Unlock()
+	}
+}
+
+// snapshotLocked builds robot id's obstructed-visibility snapshot; the
+// caller holds w.mu.
+func snapshotLocked(w *world, id int) model.Snapshot {
+	vis := geom.VisibleSetFast(w.pos, id)
+	others := make([]model.RobotView, len(vis))
+	for k, j := range vis {
+		others[k] = model.RobotView{Pos: w.pos[j], Color: w.col[j]}
+	}
+	return model.Snapshot{
+		Self:   model.RobotView{Pos: w.pos[id], Color: w.col[id]},
+		Others: others,
+	}
+}
+
+// monitor watches for stability: Complete Visibility holds, nobody is in
+// flight, and every robot has completed a cycle whose Look saw the final
+// world version. It also accounts epochs.
+func monitor(ctx context.Context, w *world, n int) Result {
+	res := Result{}
+	epochMark := make([]int, n)
+	tick := time.NewTicker(500 * time.Microsecond)
+	defer tick.Stop()
+	var lastSeqChecked uint64
+	lastSeqChecked = ^uint64(0)
+	cvCached := false
+	for {
+		select {
+		case <-ctx.Done():
+			return res
+		case <-tick.C:
+		}
+		w.mu.Lock()
+		// Epoch accounting.
+		allCycled := true
+		for i := 0; i < n; i++ {
+			if w.cycles[i] <= epochMark[i] {
+				allCycled = false
+				break
+			}
+		}
+		if allCycled {
+			copy(epochMark, w.cycles)
+			res.Epochs++
+		}
+		// Stability: no in-flight robots, all clean looks at the
+		// current world version.
+		stable := true
+		for i := 0; i < n && stable; i++ {
+			if w.inFlight[i] || w.cleanLookSeq[i] != w.changeSeq {
+				stable = false
+			}
+		}
+		var pos []geom.Point
+		if stable {
+			if w.changeSeq != lastSeqChecked {
+				pos = append([]geom.Point(nil), w.pos...)
+			}
+		}
+		seq := w.changeSeq
+		w.mu.Unlock()
+
+		if stable {
+			if pos != nil {
+				cvCached = geom.CompleteVisibilityFast(pos)
+				lastSeqChecked = seq
+			}
+			if cvCached {
+				res.Reached = true
+				return res
+			}
+		}
+	}
+}

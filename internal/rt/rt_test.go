@@ -1,0 +1,92 @@
+package rt
+
+import (
+	"testing"
+	"time"
+
+	"luxvis/internal/config"
+	"luxvis/internal/core"
+	"luxvis/internal/exact"
+	"luxvis/internal/geom"
+	"luxvis/internal/sched"
+	"luxvis/internal/sim"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, []geom.Point{geom.Pt(0, 0)}, Options{}); err == nil {
+		t.Error("nil algorithm accepted")
+	}
+	if _, err := Run(core.NewLogVis(), nil, Options{}); err == nil {
+		t.Error("empty start accepted")
+	}
+}
+
+func TestGoroutineRunSmall(t *testing.T) {
+	pts := config.Generate(config.Uniform, 12, 5)
+	res, err := Run(core.NewLogVis(), pts, Options{
+		Seed:      1,
+		MaxWall:   20 * time.Second,
+		MeanDelay: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("goroutine run did not stabilize (epochs=%d cycles=%d)", res.Epochs, res.Cycles)
+	}
+	if !exact.CompleteVisibilityHybrid(res.Final) {
+		t.Error("final configuration fails exact CV")
+	}
+	if !geom.StrictlyConvexPosition(res.Final) {
+		t.Error("final configuration not strictly convex")
+	}
+	if res.Cycles == 0 || res.Epochs == 0 {
+		t.Errorf("no progress recorded: %+v", res)
+	}
+}
+
+func TestGoroutineRunLine(t *testing.T) {
+	pts := config.Generate(config.Line, 9, 2)
+	res, err := Run(core.NewLogVis(), pts, Options{
+		Seed:      2,
+		MaxWall:   20 * time.Second,
+		MeanDelay: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("line start did not stabilize under real concurrency")
+	}
+}
+
+func TestGoroutineAgreesWithEngine(t *testing.T) {
+	// The same algorithm must converge in both executions of the
+	// model — the discrete-event engine and the concurrent runtime.
+	pts := config.Generate(config.Clustered, 14, 7)
+
+	eng, err := sim.Run(core.NewLogVis(), pts, sim.DefaultOptions(sched.NewAsyncRandom(), 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Reached {
+		t.Fatal("engine run did not converge")
+	}
+
+	conc, err := Run(core.NewLogVis(), pts, Options{
+		Seed:      7,
+		MaxWall:   20 * time.Second,
+		MeanDelay: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conc.Reached {
+		t.Fatal("concurrent run did not converge")
+	}
+	// Final configurations differ (different interleavings) but both
+	// must satisfy the goal predicate with the same swarm size.
+	if len(conc.Final) != len(eng.Final) {
+		t.Errorf("swarm size changed: %d vs %d", len(conc.Final), len(eng.Final))
+	}
+}

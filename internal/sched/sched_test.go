@@ -1,0 +1,318 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fakeEngine advances robot stages the way the real engine does, so the
+// scheduler policies can be exercised without geometry: Look → Compute →
+// (steps × MoveStep) → Idle with cycle count incremented. Every robot
+// always "moves", taking the scheduler's step count.
+type fakeEngine struct {
+	st    []Status
+	steps []int
+	now   int
+}
+
+func newFakeEngine(n int) *fakeEngine {
+	fe := &fakeEngine{st: make([]Status, n), steps: make([]int, n)}
+	for i := range fe.st {
+		fe.st[i].LastEvent = -1
+	}
+	return fe
+}
+
+func (fe *fakeEngine) advance(s Scheduler, rng *rand.Rand) int {
+	r := s.Next(fe.st, fe.now, rng)
+	if r < 0 || r >= len(fe.st) {
+		panic("scheduler returned invalid robot")
+	}
+	switch fe.st[r].Stage {
+	case Idle:
+		fe.st[r].Stage = Looked
+	case Looked:
+		fe.st[r].Stage = Computed
+		fe.steps[r] = s.MoveSteps(rng)
+		fe.st[r].StepsLeft = fe.steps[r]
+	case Computed:
+		fe.st[r].Stage = Moving
+		fe.st[r].StepsLeft--
+		if fe.st[r].StepsLeft == 0 {
+			fe.st[r].Stage = Idle
+			fe.st[r].Cycles++
+		}
+	case Moving:
+		fe.st[r].StepsLeft--
+		if fe.st[r].StepsLeft <= 0 {
+			fe.st[r].Stage = Idle
+			fe.st[r].Cycles++
+		}
+	}
+	fe.now++
+	fe.st[r].LastEvent = fe.now
+	return r
+}
+
+func TestStageString(t *testing.T) {
+	for s, want := range map[Stage]string{Idle: "idle", Looked: "looked", Computed: "computed", Moving: "moving"} {
+		if got := s.String(); got != want {
+			t.Errorf("Stage %d = %q", s, got)
+		}
+	}
+}
+
+func TestFSyncLockstep(t *testing.T) {
+	const n = 5
+	fe := newFakeEngine(n)
+	s := NewFSync()
+	s.Reset(n)
+	rng := rand.New(rand.NewSource(1))
+
+	// The first n events must be Looks of all n robots (no Compute
+	// before every robot has Looked).
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		r := fe.advance(s, rng)
+		if seen[r] {
+			t.Fatalf("robot %d activated twice during Look wave", r)
+		}
+		seen[r] = true
+		if fe.st[r].Stage != Looked {
+			t.Fatalf("event %d was not a Look", i)
+		}
+	}
+	// Next n events are Computes.
+	for i := 0; i < n; i++ {
+		r := fe.advance(s, rng)
+		if fe.st[r].Stage != Computed && fe.st[r].Stage != Idle {
+			t.Fatalf("wave 2 event %d: stage %v", i, fe.st[r].Stage)
+		}
+	}
+	// Run several full rounds: cycle counts must stay balanced (lockstep).
+	for i := 0; i < 500; i++ {
+		fe.advance(s, rng)
+		min, max := fe.st[0].Cycles, fe.st[0].Cycles
+		for _, st := range fe.st {
+			if st.Cycles < min {
+				min = st.Cycles
+			}
+			if st.Cycles > max {
+				max = st.Cycles
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("FSYNC cycle imbalance: min=%d max=%d", min, max)
+		}
+	}
+}
+
+func TestFSyncMoveSteps(t *testing.T) {
+	if got := NewFSync().MoveSteps(rand.New(rand.NewSource(1))); got != 1 {
+		t.Errorf("FSYNC MoveSteps = %d", got)
+	}
+}
+
+func TestSSyncRounds(t *testing.T) {
+	const n = 8
+	fe := newFakeEngine(n)
+	s := NewSSync(0.5)
+	s.Reset(n)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		fe.advance(s, rng)
+	}
+	if s.Rounds() == 0 {
+		t.Fatal("no SSYNC rounds completed")
+	}
+	// Every robot must make progress over many rounds (selection is
+	// random but unbiased).
+	for i, st := range fe.st {
+		if st.Cycles == 0 {
+			t.Errorf("robot %d starved across %d rounds", i, s.Rounds())
+		}
+	}
+}
+
+func TestSSyncDefaultProbability(t *testing.T) {
+	if s := NewSSync(0); s.P != 0.5 {
+		t.Errorf("default P = %v", s.P)
+	}
+	if s := NewSSync(2); s.P != 0.5 {
+		t.Errorf("clamped P = %v", s.P)
+	}
+	if s := NewSSync(0.25); s.P != 0.25 {
+		t.Errorf("explicit P = %v", s.P)
+	}
+}
+
+func TestSSyncAtomicRounds(t *testing.T) {
+	// With selection probability 1 every robot runs every round, so
+	// SSYNC degenerates to lockstep: cycle counts never differ by more
+	// than 1. (With p < 1 the spread legitimately drifts with selection
+	// luck, so lockstep is only checkable at p = 1.)
+	const n = 6
+	fe := newFakeEngine(n)
+	s := NewSSync(1)
+	s.Reset(n)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		fe.advance(s, rng)
+		min, max := fe.st[0].Cycles, fe.st[0].Cycles
+		for _, st := range fe.st {
+			if st.Cycles < min {
+				min = st.Cycles
+			}
+			if st.Cycles > max {
+				max = st.Cycles
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("SSYNC(p=1) not lockstep: spread %d", max-min)
+		}
+	}
+}
+
+func TestAsyncRandomFairness(t *testing.T) {
+	const n = 10
+	fe := newFakeEngine(n)
+	s := NewAsyncRandom()
+	s.Reset(n)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20000; i++ {
+		fe.advance(s, rng)
+	}
+	for i, st := range fe.st {
+		if st.Cycles < 100 {
+			t.Errorf("robot %d completed only %d cycles", i, st.Cycles)
+		}
+	}
+}
+
+func TestAsyncRandomStarvationWindow(t *testing.T) {
+	// With a tiny fairness window, the most starved robot is forced.
+	const n = 4
+	s := &AsyncRandom{MaxSubSteps: 1, Window: 8}
+	s.Reset(n)
+	st := make([]Status, n)
+	for i := range st {
+		st[i].LastEvent = 100
+	}
+	st[2].LastEvent = 0 // starved beyond the window
+	rng := rand.New(rand.NewSource(5))
+	if got := s.Next(st, 108, rng); got != 2 {
+		t.Errorf("starved robot not prioritized: got %d", got)
+	}
+}
+
+func TestAsyncRandomMoveStepsRange(t *testing.T) {
+	s := NewAsyncRandom()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 1000; i++ {
+		steps := s.MoveSteps(rng)
+		if steps < 1 || steps > s.MaxSubSteps {
+			t.Fatalf("MoveSteps = %d outside [1, %d]", steps, s.MaxSubSteps)
+		}
+	}
+}
+
+func TestAsyncStaleWaves(t *testing.T) {
+	const n = 6
+	fe := newFakeEngine(n)
+	s := NewAsyncStale()
+	s.Reset(n)
+	rng := rand.New(rand.NewSource(7))
+
+	// Phase 1: the first n events must be Looks of all robots.
+	for i := 0; i < n; i++ {
+		r := fe.advance(s, rng)
+		if fe.st[r].Stage != Looked {
+			t.Fatalf("stale wave event %d was not a Look", i)
+		}
+	}
+	// Then all Computes.
+	for i := 0; i < n; i++ {
+		r := fe.advance(s, rng)
+		if fe.st[r].Stage != Computed {
+			t.Fatalf("stale wave event %d was not a Compute", i)
+		}
+	}
+	// Then moves execute serially: at most one robot in Moving stage at
+	// any time.
+	for i := 0; i < n*s.SubSteps; i++ {
+		fe.advance(s, rng)
+		moving := 0
+		for _, st := range fe.st {
+			if st.Stage == Moving {
+				moving++
+			}
+		}
+		if moving > 1 {
+			t.Fatalf("stale adversary allowed %d concurrent movers", moving)
+		}
+	}
+	// Long run: all robots progress (waves are fair).
+	for i := 0; i < 10000; i++ {
+		fe.advance(s, rng)
+	}
+	for i, st := range fe.st {
+		if st.Cycles < 50 {
+			t.Errorf("robot %d completed only %d cycles under stale adversary", i, st.Cycles)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		s := ByName(name)
+		if s == nil || s.Name() != name {
+			t.Errorf("ByName(%q) = %v", name, s)
+		}
+	}
+	if ByName("async").Name() != "async-random" {
+		t.Error("alias async not resolved")
+	}
+	if ByName("round-robin").Name() != "async-rr" {
+		t.Error("alias round-robin not resolved")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown scheduler name did not panic")
+		}
+	}()
+	ByName("nope")
+}
+
+func TestAsyncRoundRobinDeterministic(t *testing.T) {
+	const n = 5
+	mk := func() []int {
+		fe := newFakeEngine(n)
+		s := NewAsyncRoundRobin()
+		s.Reset(n)
+		rng := rand.New(rand.NewSource(99))
+		var order []int
+		for i := 0; i < 200; i++ {
+			order = append(order, fe.advance(s, rng))
+		}
+		return order
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round-robin diverged at event %d", i)
+		}
+	}
+	// Coverage: every robot progresses.
+	fe := newFakeEngine(n)
+	s := NewAsyncRoundRobin()
+	s.Reset(n)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		fe.advance(s, rng)
+	}
+	for i, st := range fe.st {
+		if st.Cycles == 0 {
+			t.Errorf("robot %d starved under round-robin", i)
+		}
+	}
+}

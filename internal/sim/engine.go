@@ -1,0 +1,481 @@
+// Package sim is the execution engine of the robots-with-lights model: it
+// runs an Algorithm over a Scheduler, delivers snapshots with obstructed
+// visibility, executes moves as interleavable sub-stepped segments,
+// counts epochs, and verifies the safety properties the paper claims —
+// no two robots ever share a position, no moving robot passes through
+// another, and the paths of temporally overlapping moves never cross.
+// Safety verdicts are confirmed with exact rational arithmetic, so a
+// reported zero is not a tolerance artifact.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"luxvis/internal/geom"
+	"luxvis/internal/grid"
+	"luxvis/internal/model"
+	"luxvis/internal/sched"
+)
+
+// Options configures a run. The zero value is not runnable: a Scheduler
+// is mandatory. Use DefaultOptions for sensible defaults.
+type Options struct {
+	// Scheduler decides the activation order (required).
+	Scheduler sched.Scheduler
+	// Seed drives every random choice of the run (scheduler and
+	// non-rigid truncation). Runs are reproducible per (algorithm,
+	// start, Options).
+	Seed int64
+	// MaxEpochs aborts the run after this many epochs (default 4096).
+	MaxEpochs int
+	// MaxEvents is a hard event-count cap (default derived from
+	// MaxEpochs and the swarm size).
+	MaxEvents int
+	// NonRigid enables the non-rigid motion adversary: each move may be
+	// truncated to a random fraction of its segment, at least
+	// MinMoveFrac. The paper assumes rigid moves; this is a stress mode.
+	NonRigid bool
+	// MinMoveFrac is the guaranteed fraction of a non-rigid move
+	// (default 0.3). Values outside (0, 1] are clamped.
+	MinMoveFrac float64
+	// SkipSafetyChecks disables collision and path-crossing
+	// verification (for raw-throughput benchmarks only).
+	SkipSafetyChecks bool
+	// RecordTrace retains a full event trace in the Result.
+	RecordTrace bool
+	// SampleEpochs records one EpochSample per epoch boundary in the
+	// Result — the convergence dynamics (hull composition and movement
+	// per epoch) behind the F7 figure.
+	SampleEpochs bool
+}
+
+// DefaultOptions returns Options with the given scheduler and seed and
+// all defaults filled in.
+func DefaultOptions(s sched.Scheduler, seed int64) Options {
+	return Options{Scheduler: s, Seed: seed, MaxEpochs: 4096, MinMoveFrac: 0.3}
+}
+
+// ViolationKind classifies a safety violation.
+type ViolationKind string
+
+// Violation kinds reported by the engine.
+const (
+	// VColocation: two robots at the same exact position.
+	VColocation ViolationKind = "colocation"
+	// VPassThrough: a moving robot's sub-step passed exactly through
+	// another robot's position.
+	VPassThrough ViolationKind = "pass-through"
+	// VPathCross: two temporally overlapping moves with properly
+	// crossing (or collinearly overlapping) path segments.
+	VPathCross ViolationKind = "path-cross"
+	// VPalette: an algorithm set a color outside its declared palette.
+	VPalette ViolationKind = "palette"
+	// VBadTarget: an algorithm computed a non-finite target.
+	VBadTarget ViolationKind = "bad-target"
+)
+
+// Violation is one detected safety violation.
+type Violation struct {
+	Kind   ViolationKind
+	Event  int
+	Robots [2]int
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at event %d robots %v: %s", v.Kind, v.Event, v.Robots, v.Detail)
+}
+
+// EpochSample is the aggregate state at one epoch boundary (only with
+// Options.SampleEpochs).
+type EpochSample struct {
+	Epoch int
+	// Corners, EdgeRobots and Interior partition the swarm by global
+	// hull classification at the boundary.
+	Corners    int
+	EdgeRobots int
+	Interior   int
+	// MovesSoFar is the cumulative count of completed relocations.
+	MovesSoFar int
+	// CV reports whether Complete Visibility held at the boundary.
+	CV bool
+}
+
+// TraceEvent is one recorded engine event (only with RecordTrace).
+type TraceEvent struct {
+	Event int
+	Robot int
+	Kind  string // "look", "compute", "step"
+	Pos   geom.Point
+	Color model.Color
+}
+
+// Result summarizes a run.
+type Result struct {
+	Algorithm string
+	Scheduler string
+	N         int
+	Seed      int64
+
+	// Reached reports whether the run terminated in a quiescent
+	// Complete Visibility configuration (verified exactly).
+	Reached bool
+	// Epochs is the number of completed epochs at quiescence (or at
+	// abort). An epoch is a minimal span in which every robot completes
+	// at least one full LCM cycle.
+	Epochs int
+	// FirstCVEpoch is the first epoch boundary at which Complete
+	// Visibility held, or -1.
+	FirstCVEpoch int
+	// Rounds is the scheduler's own round count where the scheduler
+	// defines rounds (SSYNC), else 0.
+	Rounds int
+
+	Events int
+	Cycles int
+	// Moves counts cycles with non-zero displacement.
+	Moves int
+	// TotalDist is the summed path length of all moves.
+	TotalDist float64
+	// MaxRobotDist is the largest total distance moved by any single robot.
+	MaxRobotDist float64
+	// ColorsUsed is the number of distinct colors ever shown.
+	ColorsUsed int
+
+	Collisions    int
+	PathCrossings int
+	Violations    []Violation
+
+	Final       []geom.Point
+	FinalColors []model.Color
+	MinPairDist float64
+
+	Trace []TraceEvent
+	// EpochSamples has one entry per epoch boundary (SampleEpochs only).
+	EpochSamples []EpochSample
+}
+
+// movePlan is a robot's in-flight relocation.
+type movePlan struct {
+	from, target geom.Point
+	stepsTotal   int
+	stepsDone    int
+	startEvent   int
+	// lookEvent is when the snapshot that decided this move was taken;
+	// two moves are treated as concurrent when either's cycle span
+	// (Look to move end) overlaps the other's motion.
+	lookEvent int
+}
+
+// doneMove is a completed move retained for the concurrency-aware
+// path-crossing check until no in-progress cycle can overlap it.
+type doneMove struct {
+	robot     int
+	seg       geom.Segment
+	lookEvent int
+	endEvent  int
+}
+
+// engine is the mutable state of one run.
+type engine struct {
+	algo model.Algorithm
+	opt  Options
+	rng  *rand.Rand
+
+	pos  []geom.Point
+	col  []model.Color
+	st   []sched.Status
+	snap []model.Snapshot
+	act  []model.Action
+	plan []movePlan
+
+	palette map[model.Color]bool
+
+	now        int
+	lastChange int
+	// snapLook[i] is the event index at which robot i's currently held
+	// snapshot was taken (valid for stages past Idle).
+	snapLook []int
+	// lastCleanLook[i] is the Look event index of robot i's most
+	// recently completed cycle.
+	lastCleanLook []int
+
+	epochBase []int
+	epochs    int
+
+	cvCacheAt  int // lastChange value the cache refers to, -1 = invalid
+	cvCacheVal bool
+
+	res Result
+
+	robotDist []float64
+	colorMask uint32
+
+	// active moves for path-crossing checks (robot -> plan segment);
+	// only robots in Moving stage.
+	activeMoves map[int]geom.Segment
+	// recentMoves are completed moves that may still overlap an
+	// in-progress cycle (see doneMove).
+	recentMoves []doneMove
+	// idx is the spatial index over current positions, used to filter
+	// the per-sub-step collision scan (nil with SkipSafetyChecks).
+	idx *grid.Index
+	// nearBuf is the reusable candidate buffer for idx queries.
+	nearBuf []int
+}
+
+// Run executes algo from the start configuration under opt and returns
+// the result. It returns an error for invalid inputs (fewer than one
+// robot, duplicate or non-finite start positions, missing scheduler);
+// safety violations during the run do not error — they are counted and
+// reported in the Result, because counting them is the experiment.
+func Run(algo model.Algorithm, start []geom.Point, opt Options) (Result, error) {
+	if algo == nil {
+		return Result{}, errors.New("sim: nil algorithm")
+	}
+	if opt.Scheduler == nil {
+		return Result{}, errors.New("sim: Options.Scheduler is required")
+	}
+	n := len(start)
+	if n == 0 {
+		return Result{}, errors.New("sim: empty start configuration")
+	}
+	for i, p := range start {
+		if !p.IsFinite() {
+			return Result{}, fmt.Errorf("sim: non-finite start position %d", i)
+		}
+		for j := i + 1; j < n; j++ {
+			if p.Eq(start[j]) {
+				return Result{}, fmt.Errorf("sim: duplicate start positions %d and %d", i, j)
+			}
+		}
+	}
+	if opt.MaxEpochs <= 0 {
+		opt.MaxEpochs = 4096
+	}
+	if opt.MaxEvents <= 0 {
+		opt.MaxEvents = opt.MaxEpochs*n*16 + 100_000
+	}
+	if opt.MinMoveFrac <= 0 || opt.MinMoveFrac > 1 {
+		opt.MinMoveFrac = 0.3
+	}
+
+	e := &engine{
+		algo:          algo,
+		opt:           opt,
+		rng:           rand.New(rand.NewSource(opt.Seed)),
+		pos:           append([]geom.Point(nil), start...),
+		col:           make([]model.Color, n),
+		st:            make([]sched.Status, n),
+		snap:          make([]model.Snapshot, n),
+		act:           make([]model.Action, n),
+		plan:          make([]movePlan, n),
+		palette:       map[model.Color]bool{model.Off: true},
+		snapLook:      make([]int, n),
+		lastCleanLook: make([]int, n),
+		epochBase:     make([]int, n),
+		cvCacheAt:     -1,
+		robotDist:     make([]float64, n),
+		activeMoves:   make(map[int]geom.Segment),
+	}
+	for _, c := range algo.Palette() {
+		e.palette[c] = true
+	}
+	for i := range e.st {
+		e.st[i].LastEvent = -1
+		e.lastCleanLook[i] = -1
+		e.snapLook[i] = -1
+	}
+	e.colorMask = 1 << uint(model.Off)
+	e.res = Result{
+		Algorithm:    algo.Name(),
+		Scheduler:    opt.Scheduler.Name(),
+		N:            n,
+		Seed:         opt.Seed,
+		FirstCVEpoch: -1,
+	}
+	opt.Scheduler.Reset(n)
+	if !opt.SkipSafetyChecks {
+		e.idx = grid.NewFor(e.pos)
+	}
+
+	e.loop()
+	e.finish()
+	return e.res, nil
+}
+
+// loop is the main event loop.
+func (e *engine) loop() {
+	for e.now < e.opt.MaxEvents && e.epochs < e.opt.MaxEpochs {
+		if e.quiescent() {
+			e.res.Reached = true
+			return
+		}
+		r := e.opt.Scheduler.Next(e.st, e.now, e.rng)
+		if r < 0 || r >= len(e.st) {
+			panic(fmt.Sprintf("sim: scheduler %s returned invalid robot %d", e.opt.Scheduler.Name(), r))
+		}
+		e.advance(r)
+		e.now++
+		e.st[r].LastEvent = e.now
+		e.accountEpoch()
+	}
+}
+
+// advance executes one micro-event for robot r, determined by its stage.
+func (e *engine) advance(r int) {
+	switch e.st[r].Stage {
+	case sched.Idle:
+		e.doLook(r)
+	case sched.Looked:
+		e.doCompute(r)
+	case sched.Computed, sched.Moving:
+		e.doMoveStep(r)
+	}
+}
+
+// doLook takes robot r's snapshot of the current world.
+func (e *engine) doLook(r int) {
+	vis := geom.VisibleSetFast(e.pos, r)
+	others := make([]model.RobotView, len(vis))
+	for i, j := range vis {
+		others[i] = model.RobotView{Pos: e.pos[j], Color: e.col[j]}
+	}
+	e.snap[r] = model.Snapshot{
+		Self:   model.RobotView{Pos: e.pos[r], Color: e.col[r]},
+		Others: others,
+	}
+	e.st[r].Stage = sched.Looked
+	e.snapLook[r] = e.now
+	e.trace(r, "look")
+}
+
+// doCompute runs the algorithm on robot r's held snapshot, publishes the
+// light, and either completes the cycle (stay) or arms a move.
+func (e *engine) doCompute(r int) {
+	a := e.algo.Compute(e.snap[r])
+	if !a.Target.IsFinite() {
+		e.violate(VBadTarget, r, r, fmt.Sprintf("target %v", a.Target))
+		a.Target = e.pos[r]
+	}
+	if !e.palette[a.Color] {
+		e.violate(VPalette, r, r, fmt.Sprintf("undeclared color %v", a.Color))
+	}
+	e.act[r] = a
+	if a.Color != e.col[r] {
+		e.col[r] = a.Color
+		e.colorMask |= 1 << uint(a.Color)
+		e.noteChange()
+	}
+	e.trace(r, "compute")
+	if a.IsStay(e.pos[r]) {
+		e.completeCycle(r)
+		return
+	}
+	target := a.Target
+	if e.opt.NonRigid {
+		// The motion adversary may stop the robot anywhere past the
+		// guaranteed fraction of its intended segment.
+		f := e.opt.MinMoveFrac + e.rng.Float64()*(1-e.opt.MinMoveFrac)
+		if f < 1 {
+			target = e.pos[r].Lerp(a.Target, f)
+		}
+	}
+	steps := e.opt.Scheduler.MoveSteps(e.rng)
+	if steps < 1 {
+		steps = 1
+	}
+	e.plan[r] = movePlan{from: e.pos[r], target: target, stepsTotal: steps, startEvent: e.now, lookEvent: e.snapLook[r]}
+	e.st[r].Stage = sched.Computed
+	e.st[r].StepsLeft = steps
+}
+
+// doMoveStep advances robot r one sub-step along its planned segment.
+func (e *engine) doMoveStep(r int) {
+	p := &e.plan[r]
+	if e.st[r].Stage == sched.Computed {
+		// First step: the move becomes active; check its full path
+		// against all currently active moves.
+		e.st[r].Stage = sched.Moving
+		seg := geom.Seg(p.from, p.target)
+		if !e.opt.SkipSafetyChecks {
+			e.checkPathCross(r, seg)
+		}
+		e.activeMoves[r] = seg
+	}
+	p.stepsDone++
+	e.st[r].StepsLeft--
+	old := e.pos[r]
+	t := float64(p.stepsDone) / float64(p.stepsTotal)
+	next := p.from.Lerp(p.target, t)
+	if p.stepsDone >= p.stepsTotal {
+		next = p.target
+	}
+	if !e.opt.SkipSafetyChecks {
+		e.checkSubStep(r, old, next)
+	}
+	e.pos[r] = next
+	if e.idx != nil {
+		e.idx.Move(r, next)
+	}
+	e.noteChange()
+	e.trace(r, "step")
+	if p.stepsDone >= p.stepsTotal {
+		d := p.from.Dist(p.target)
+		e.res.Moves++
+		e.res.TotalDist += d
+		e.robotDist[r] += d
+		delete(e.activeMoves, r)
+		if !e.opt.SkipSafetyChecks {
+			e.recentMoves = append(e.recentMoves, doneMove{
+				robot:     r,
+				seg:       geom.Seg(p.from, p.target),
+				lookEvent: p.lookEvent,
+				endEvent:  e.now,
+			})
+			e.pruneRecentMoves()
+		}
+		e.completeCycle(r)
+	}
+}
+
+// completeCycle finishes robot r's LCM cycle.
+func (e *engine) completeCycle(r int) {
+	e.st[r].Stage = sched.Idle
+	e.st[r].StepsLeft = 0
+	e.st[r].Cycles++
+	e.res.Cycles++
+	// Remember when the completed cycle's snapshot was taken: quiescence
+	// requires every robot to have completed a cycle whose Look happened
+	// after the last world change.
+	e.lastCleanLook[r] = e.snapLook[r]
+}
+
+// violate records a safety violation.
+func (e *engine) violate(kind ViolationKind, a, b int, detail string) {
+	v := Violation{Kind: kind, Event: e.now, Robots: [2]int{a, b}, Detail: detail}
+	e.res.Violations = append(e.res.Violations, v)
+	switch kind {
+	case VColocation, VPassThrough:
+		e.res.Collisions++
+	case VPathCross:
+		e.res.PathCrossings++
+	}
+}
+
+// noteChange marks the world as changed at the current event.
+func (e *engine) noteChange() {
+	e.lastChange = e.now
+}
+
+// trace records a trace event when enabled.
+func (e *engine) trace(r int, kind string) {
+	if !e.opt.RecordTrace {
+		return
+	}
+	e.res.Trace = append(e.res.Trace, TraceEvent{
+		Event: e.now, Robot: r, Kind: kind, Pos: e.pos[r], Color: e.col[r],
+	})
+}

@@ -1,0 +1,195 @@
+package svgx
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one line of a chart.
+type Series struct {
+	Name   string
+	Xs, Ys []float64
+	// Color is any SVG color; empty picks from the default cycle.
+	Color string
+}
+
+// ChartOptions configures RenderLineChart.
+type ChartOptions struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  float64 // default 640
+	Height float64 // default 420
+	// LogX plots x on a log₂ axis — the natural axis for N sweeps.
+	LogX bool
+}
+
+var defaultSeriesColors = []string{
+	"#1a73e8", "#d93025", "#188038", "#f9ab00", "#9c27b0", "#00acc1",
+}
+
+// RenderLineChart renders series as an SVG line chart with axes, ticks
+// and a legend. It is deliberately minimal — enough to publish the
+// experiment figures without any dependency — but handles the
+// essentials: per-series colors, log₂ x-axes, and sane tick placement.
+func RenderLineChart(w io.Writer, series []Series, opt ChartOptions) error {
+	if len(series) == 0 {
+		return fmt.Errorf("svgx: chart with no series")
+	}
+	if opt.Width <= 0 {
+		opt.Width = 640
+	}
+	if opt.Height <= 0 {
+		opt.Height = 420
+	}
+	const (
+		padL = 64.0
+		padR = 24.0
+		padT = 40.0
+		padB = 52.0
+	)
+	tx := func(x float64) float64 {
+		if opt.LogX {
+			return math.Log2(x)
+		}
+		return x
+	}
+
+	// Data window.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // y axis anchored at zero
+	for _, s := range series {
+		if len(s.Xs) != len(s.Ys) {
+			return fmt.Errorf("svgx: series %q length mismatch", s.Name)
+		}
+		for i := range s.Xs {
+			x := tx(s.Xs[i])
+			minX = math.Min(minX, x)
+			maxX = math.Max(maxX, x)
+			maxY = math.Max(maxY, s.Ys[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("svgx: chart with empty series")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	maxY *= 1.08 // headroom
+
+	plotW := opt.Width - padL - padR
+	plotH := opt.Height - padT - padB
+	px := func(x float64) float64 { return padL + (tx(x)-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return padT + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		opt.Width, opt.Height, opt.Width, opt.Height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Title and axis labels.
+	fmt.Fprintf(&b, `<text x="%.0f" y="24" font-size="15" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+		opt.Width/2, escape(opt.Title))
+	fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" font-size="12" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+		padL+plotW/2, opt.Height-10, escape(opt.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.0f" font-size="12" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 16 %.0f)">%s</text>`+"\n",
+		padT+plotH/2, padT+plotH/2, escape(opt.YLabel))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		padL, padT+plotH, padL+plotW, padT+plotH)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		padL, padT, padL, padT+plotH)
+
+	// X ticks: at data points for log axes, else ~6 even ticks.
+	xticks := map[float64]bool{}
+	if opt.LogX {
+		for _, s := range series {
+			for _, x := range s.Xs {
+				xticks[x] = true
+			}
+		}
+	} else {
+		step := niceStep((maxX - minX) / 6)
+		for v := math.Ceil(minX/step) * step; v <= maxX+1e-9; v += step {
+			xticks[v] = true
+		}
+	}
+	for v := range xticks {
+		x := px(v)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+			x, padT+plotH, x, padT+plotH+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+			x, padT+plotH+16, fmtTick(v))
+	}
+	// Y ticks.
+	ystep := niceStep((maxY - minY) / 6)
+	for v := math.Ceil(minY/ystep) * ystep; v <= maxY+1e-9; v += ystep {
+		y := py(v)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#dadce0"/>`+"\n",
+			padL, y, padL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif" text-anchor="end">%s</text>`+"\n",
+			padL-6, y+3, fmtTick(v))
+	}
+
+	// Series polylines + markers + legend.
+	for i, s := range series {
+		color := s.Color
+		if color == "" {
+			color = defaultSeriesColors[i%len(defaultSeriesColors)]
+		}
+		var pl strings.Builder
+		for j := range s.Xs {
+			if j > 0 {
+				pl.WriteByte(' ')
+			}
+			fmt.Fprintf(&pl, "%.1f,%.1f", px(s.Xs[j]), py(s.Ys[j]))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			pl.String(), color)
+		for j := range s.Xs {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s"/>`+"\n",
+				px(s.Xs[j]), py(s.Ys[j]), color)
+		}
+		ly := padT + 14 + float64(i)*16
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			padL+plotW-130, ly-4, padL+plotW-106, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif">%s</text>`+"\n",
+			padL+plotW-100, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// niceStep rounds a raw step to 1/2/5×10^k.
+func niceStep(raw float64) float64 {
+	if raw <= 0 || math.IsInf(raw, 0) || math.IsNaN(raw) {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch {
+	case raw/mag < 1.5:
+		return mag
+	case raw/mag < 3.5:
+		return 2 * mag
+	case raw/mag < 7.5:
+		return 5 * mag
+	default:
+		return 10 * mag
+	}
+}
+
+// fmtTick formats a tick value without trailing noise.
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}

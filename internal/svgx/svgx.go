@@ -1,0 +1,195 @@
+// Package svgx is a minimal SVG writer used to render configurations and
+// motion traces as figures. It emits plain SVG 1.1 with no external
+// dependencies; the visualizer CLI (cmd/visviz) and the gallery example
+// build on it.
+package svgx
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"luxvis/internal/geom"
+	"luxvis/internal/model"
+)
+
+// Canvas accumulates SVG elements in a world coordinate system and
+// renders them into a fixed-size viewport with padding.
+type Canvas struct {
+	width, height float64
+	pad           float64
+	min, max      geom.Point
+	haveBounds    bool
+	body          strings.Builder
+}
+
+// NewCanvas creates a canvas with the given pixel viewport.
+func NewCanvas(width, height float64) *Canvas {
+	return &Canvas{width: width, height: height, pad: 24}
+}
+
+// FitTo sets the world-coordinate window that maps to the viewport.
+// Without a call to FitTo the canvas panics on the first draw — the
+// mapping must be explicit.
+func (c *Canvas) FitTo(pts []geom.Point) {
+	if len(pts) == 0 {
+		c.min, c.max = geom.Pt(0, 0), geom.Pt(1, 1)
+		c.haveBounds = true
+		return
+	}
+	c.min, c.max = geom.BoundingBox(pts)
+	// Avoid a degenerate window for single points or lines.
+	if c.max.X-c.min.X < 1e-9 {
+		c.min.X -= 0.5
+		c.max.X += 0.5
+	}
+	if c.max.Y-c.min.Y < 1e-9 {
+		c.min.Y -= 0.5
+		c.max.Y += 0.5
+	}
+	c.haveBounds = true
+}
+
+// xy maps a world point to viewport coordinates (y axis flipped so the
+// world's +Y points up on screen).
+func (c *Canvas) xy(p geom.Point) (float64, float64) {
+	if !c.haveBounds {
+		panic("svgx: draw before FitTo")
+	}
+	sx := (c.width - 2*c.pad) / (c.max.X - c.min.X)
+	sy := (c.height - 2*c.pad) / (c.max.Y - c.min.Y)
+	s := math.Min(sx, sy)
+	x := c.pad + (p.X-c.min.X)*s
+	y := c.height - c.pad - (p.Y-c.min.Y)*s
+	return x, y
+}
+
+// Circle draws a filled circle at world point p.
+func (c *Canvas) Circle(p geom.Point, r float64, fill string) {
+	x, y := c.xy(p)
+	fmt.Fprintf(&c.body, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`+"\n", x, y, r, fill)
+}
+
+// Line draws a stroked segment between world points a and b.
+func (c *Canvas) Line(a, b geom.Point, stroke string, width float64) {
+	x1, y1 := c.xy(a)
+	x2, y2 := c.xy(b)
+	fmt.Fprintf(&c.body,
+		`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+// Polygon draws a stroked, unfilled polygon through the world points.
+func (c *Canvas) Polygon(pts []geom.Point, stroke string, width float64) {
+	if len(pts) < 2 {
+		return
+	}
+	var sb strings.Builder
+	for i, p := range pts {
+		x, y := c.xy(p)
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.2f,%.2f", x, y)
+	}
+	fmt.Fprintf(&c.body,
+		`<polygon points="%s" fill="none" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		sb.String(), stroke, width)
+}
+
+// Text draws a small annotation at world point p.
+func (c *Canvas) Text(p geom.Point, s string) {
+	x, y := c.xy(p)
+	fmt.Fprintf(&c.body,
+		`<text x="%.2f" y="%.2f" font-size="10" font-family="monospace">%s</text>`+"\n",
+		x, y, escape(s))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// WriteTo renders the accumulated elements as a complete SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	doc := fmt.Sprintf(
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+
+			"\n<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n%s</svg>\n",
+		c.width, c.height, c.width, c.height, c.body.String())
+	n, err := io.WriteString(w, doc)
+	return int64(n), err
+}
+
+// ColorFill maps a robot light color to a display fill.
+func ColorFill(col model.Color) string {
+	switch col {
+	case model.Off:
+		return "#9aa0a6"
+	case model.Line:
+		return "#795548"
+	case model.Corner:
+		return "#1a73e8"
+	case model.Side:
+		return "#f9ab00"
+	case model.Interior:
+		return "#d93025"
+	case model.Transit:
+		return "#9c27b0"
+	case model.Beacon:
+		return "#00acc1"
+	case model.Done:
+		return "#188038"
+	default:
+		return "black"
+	}
+}
+
+// RenderConfiguration draws a swarm snapshot: hull outline, robots
+// colored by light.
+func RenderConfiguration(w io.Writer, pts []geom.Point, cols []model.Color, width, height float64) error {
+	c := NewCanvas(width, height)
+	c.FitTo(pts)
+	hull := geom.ConvexHull(pts)
+	if !hull.Degenerate() {
+		c.Polygon(hull.Corners, "#dadce0", 1)
+	}
+	for i, p := range pts {
+		fill := "#9aa0a6"
+		if cols != nil && i < len(cols) {
+			fill = ColorFill(cols[i])
+		}
+		c.Circle(p, 3, fill)
+	}
+	_, err := c.WriteTo(w)
+	return err
+}
+
+// RenderTrajectories draws per-robot motion polylines from start to
+// final positions, with starts hollow-ish grey and finals colored.
+func RenderTrajectories(w io.Writer, paths [][]geom.Point, finalCols []model.Color, width, height float64) error {
+	c := NewCanvas(width, height)
+	var all []geom.Point
+	for _, path := range paths {
+		all = append(all, path...)
+	}
+	c.FitTo(all)
+	for _, path := range paths {
+		for i := 1; i < len(path); i++ {
+			c.Line(path[i-1], path[i], "#dadce0", 0.8)
+		}
+	}
+	for i, path := range paths {
+		if len(path) == 0 {
+			continue
+		}
+		c.Circle(path[0], 2, "#bdc1c6")
+		fill := "#188038"
+		if finalCols != nil && i < len(finalCols) {
+			fill = ColorFill(finalCols[i])
+		}
+		c.Circle(path[len(path)-1], 3, fill)
+	}
+	_, err := c.WriteTo(w)
+	return err
+}

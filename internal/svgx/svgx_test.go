@@ -1,0 +1,142 @@
+package svgx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"luxvis/internal/geom"
+	"luxvis/internal/model"
+)
+
+func TestCanvasProducesValidSVG(t *testing.T) {
+	c := NewCanvas(400, 300)
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 10), geom.Pt(5, 3)}
+	c.FitTo(pts)
+	c.Circle(pts[0], 3, "red")
+	c.Line(pts[0], pts[1], "blue", 1)
+	c.Polygon(pts, "green", 2)
+	c.Text(pts[2], "a<b&c")
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<circle", "<line", "<polygon", "&lt;b&amp;c"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestCanvasYAxisFlipped(t *testing.T) {
+	c := NewCanvas(100, 100)
+	c.FitTo([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)})
+	_, yLow := c.xy(geom.Pt(0, 0))
+	_, yHigh := c.xy(geom.Pt(0, 1))
+	if yHigh >= yLow {
+		t.Errorf("world +Y should render upward: y(0)=%v y(1)=%v", yLow, yHigh)
+	}
+}
+
+func TestCanvasPanicsWithoutFit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("draw before FitTo did not panic")
+		}
+	}()
+	NewCanvas(10, 10).Circle(geom.Pt(0, 0), 1, "red")
+}
+
+func TestFitToDegenerate(t *testing.T) {
+	c := NewCanvas(100, 100)
+	c.FitTo([]geom.Point{geom.Pt(5, 5)}) // single point: no zero division
+	x, y := c.xy(geom.Pt(5, 5))
+	if x < 0 || x > 100 || y < 0 || y > 100 {
+		t.Errorf("degenerate fit maps outside viewport: %v %v", x, y)
+	}
+	c.FitTo(nil) // empty: defaults
+}
+
+func TestColorFill(t *testing.T) {
+	seen := map[string]bool{}
+	for c := model.Color(0); c < model.NumColors; c++ {
+		fill := ColorFill(c)
+		if fill == "" {
+			t.Errorf("empty fill for %v", c)
+		}
+		if seen[fill] {
+			t.Errorf("duplicate fill %q", fill)
+		}
+		seen[fill] = true
+	}
+}
+
+func TestRenderConfiguration(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(5, 8)}
+	cols := []model.Color{model.Corner, model.Corner, model.Done}
+	var buf bytes.Buffer
+	if err := RenderConfiguration(&buf, pts, cols, 300, 300); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<polygon") {
+		t.Error("hull outline missing")
+	}
+	if got := strings.Count(buf.String(), "<circle"); got != 3 {
+		t.Errorf("rendered %d circles", got)
+	}
+}
+
+func TestRenderTrajectories(t *testing.T) {
+	paths := [][]geom.Point{
+		{geom.Pt(0, 0), geom.Pt(5, 5), geom.Pt(10, 5)},
+		{geom.Pt(10, 0)},
+	}
+	var buf bytes.Buffer
+	if err := RenderTrajectories(&buf, paths, nil, 300, 300); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "<line"); got != 2 {
+		t.Errorf("rendered %d path lines", got)
+	}
+}
+
+func TestRenderLineChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderLineChart(&buf, []Series{
+		{Name: "logvis", Xs: []float64{8, 16, 32, 64}, Ys: []float64{5, 7, 9, 13}},
+		{Name: "seqvis", Xs: []float64{8, 16, 32, 64}, Ys: []float64{5, 9, 15, 26}},
+	}, ChartOptions{Title: "F1", XLabel: "N", YLabel: "epochs", LogX: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "polyline", "logvis", "seqvis", "epochs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+}
+
+func TestRenderLineChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderLineChart(&buf, nil, ChartOptions{}); err == nil {
+		t.Error("empty chart accepted")
+	}
+	err := RenderLineChart(&buf, []Series{{Name: "x", Xs: []float64{1}, Ys: []float64{1, 2}}}, ChartOptions{})
+	if err == nil {
+		t.Error("mismatched series accepted")
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := map[float64]float64{0.7: 0.5, 1.2: 1, 3: 2, 6: 5, 9: 10, 70: 50}
+	for in, want := range cases {
+		if got := niceStep(in); got != want {
+			t.Errorf("niceStep(%v) = %v, want %v", in, got, want)
+		}
+	}
+	if got := niceStep(0); got != 1 {
+		t.Errorf("niceStep(0) = %v", got)
+	}
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"luxvis/internal/geom"
+	"luxvis/internal/sim"
+)
+
+// Randomized round-trip: arbitrary traces must serialize and parse back
+// bit-for-bit, including awkward float values.
+func TestJSONLRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	kinds := []string{"look", "compute", "step"}
+	for trial := 0; trial < 50; trial++ {
+		res := sim.Result{
+			Algorithm: "logvis",
+			Scheduler: "async-random",
+			N:         1 + rng.Intn(50),
+			Seed:      rng.Int63(),
+			Epochs:    rng.Intn(1000),
+			Events:    rng.Intn(100000),
+			Reached:   rng.Intn(2) == 0,
+		}
+		nEvents := rng.Intn(200)
+		for e := 0; e < nEvents; e++ {
+			res.Trace = append(res.Trace, sim.TraceEvent{
+				Event: e,
+				Robot: rng.Intn(res.N),
+				Kind:  kinds[rng.Intn(3)],
+				Pos: geom.Pt(
+					(rng.Float64()-0.5)*1e6,
+					rng.NormFloat64()*1e-9, // tiny magnitudes round-trip too
+				),
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		h, events, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.N != res.N || h.Seed != res.Seed || h.Reached != res.Reached {
+			t.Fatalf("trial %d: header mismatch: %+v", trial, h)
+		}
+		if len(events) != nEvents {
+			t.Fatalf("trial %d: %d events, want %d", trial, len(events), nEvents)
+		}
+		for i, e := range events {
+			orig := res.Trace[i]
+			if e.Event != orig.Event || e.Robot != orig.Robot || e.Kind != orig.Kind ||
+				e.X != orig.Pos.X || e.Y != orig.Pos.Y {
+				t.Fatalf("trial %d event %d: %+v != %+v", trial, i, e, orig)
+			}
+		}
+	}
+}
+
+func TestReadJSONLGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"not json at all",
+		`{"kind":"header"` + "\n", // truncated
+	} {
+		if _, _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("garbage input %q accepted", in)
+		}
+	}
+	// A valid header followed by garbage events must error, not hang.
+	in := `{"kind":"header","algorithm":"x","n":1}` + "\n" + "garbage\n"
+	if _, _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Error("garbage event accepted")
+	}
+}
+
+func TestRunCSVEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	res := sim.Result{Algorithm: `log,vis"x`, Scheduler: "s", N: 1}
+	if err := WriteRunCSV(&buf, []sim.Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	// The CSV writer must quote the comma-bearing field.
+	if !strings.Contains(buf.String(), `"log,vis""x"`) {
+		t.Errorf("csv escaping wrong: %q", buf.String())
+	}
+}

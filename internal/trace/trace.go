@@ -1,0 +1,149 @@
+// Package trace serializes engine runs for inspection and replay:
+// JSON-lines event logs, CSV summaries for spreadsheet analysis, and a
+// compact run header. The formats are stable line-oriented encodings so
+// traces can be streamed, diffed and post-processed with standard tools.
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"luxvis/internal/geom"
+	"luxvis/internal/sim"
+)
+
+// Header describes a recorded run; it is the first line of a JSONL
+// trace stream.
+type Header struct {
+	Kind      string `json:"kind"` // always "header"
+	Algorithm string `json:"algorithm"`
+	Scheduler string `json:"scheduler"`
+	N         int    `json:"n"`
+	Seed      int64  `json:"seed"`
+	Epochs    int    `json:"epochs"`
+	Events    int    `json:"events"`
+	Reached   bool   `json:"reached"`
+}
+
+// Event is one engine event in a JSONL trace stream.
+type Event struct {
+	Kind  string  `json:"kind"` // "look" | "compute" | "step"
+	Event int     `json:"event"`
+	Robot int     `json:"robot"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Color string  `json:"color"`
+}
+
+// WriteJSONL writes a run (header plus recorded events) as JSON lines.
+// The result must have been produced with Options.RecordTrace, otherwise
+// only the header is emitted.
+func WriteJSONL(w io.Writer, res sim.Result) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	h := Header{
+		Kind:      "header",
+		Algorithm: res.Algorithm,
+		Scheduler: res.Scheduler,
+		N:         res.N,
+		Seed:      res.Seed,
+		Epochs:    res.Epochs,
+		Events:    res.Events,
+		Reached:   res.Reached,
+	}
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("trace: encoding header: %w", err)
+	}
+	for _, e := range res.Trace {
+		ev := Event{
+			Kind:  e.Kind,
+			Event: e.Event,
+			Robot: e.Robot,
+			X:     e.Pos.X,
+			Y:     e.Pos.Y,
+			Color: e.Color.String(),
+		}
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("trace: encoding event %d: %w", e.Event, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace stream back into a header and events.
+func ReadJSONL(r io.Reader) (Header, []Event, error) {
+	dec := json.NewDecoder(r)
+	var h Header
+	if err := dec.Decode(&h); err != nil {
+		return Header{}, nil, fmt.Errorf("trace: decoding header: %w", err)
+	}
+	if h.Kind != "header" {
+		return Header{}, nil, fmt.Errorf("trace: stream does not start with a header (kind %q)", h.Kind)
+	}
+	var events []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return Header{}, nil, fmt.Errorf("trace: decoding event: %w", err)
+		}
+		events = append(events, e)
+	}
+	return h, events, nil
+}
+
+// WritePositionsCSV writes a configuration as a two-column CSV
+// (x,y with a header row).
+func WritePositionsCSV(w io.Writer, pts []geom.Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"x", "y"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{
+			strconv.FormatFloat(p.X, 'g', -1, 64),
+			strconv.FormatFloat(p.Y, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRunCSV writes one summary row per result, with a header row, for
+// spreadsheet-side analysis of experiment sweeps.
+func WriteRunCSV(w io.Writer, results []sim.Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"algorithm", "scheduler", "n", "seed", "reached", "epochs",
+		"first_cv_epoch", "events", "cycles", "moves", "total_dist",
+		"colors", "collisions", "path_crossings",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			r.Algorithm, r.Scheduler,
+			strconv.Itoa(r.N), strconv.FormatInt(r.Seed, 10),
+			strconv.FormatBool(r.Reached), strconv.Itoa(r.Epochs),
+			strconv.Itoa(r.FirstCVEpoch), strconv.Itoa(r.Events),
+			strconv.Itoa(r.Cycles), strconv.Itoa(r.Moves),
+			strconv.FormatFloat(r.TotalDist, 'g', -1, 64),
+			strconv.Itoa(r.ColorsUsed), strconv.Itoa(r.Collisions),
+			strconv.Itoa(r.PathCrossings),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

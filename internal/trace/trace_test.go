@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"luxvis/internal/geom"
+	"luxvis/internal/sim"
+)
+
+func sampleResult() sim.Result {
+	return sim.Result{
+		Algorithm: "logvis",
+		Scheduler: "async-random",
+		N:         3,
+		Seed:      42,
+		Epochs:    7,
+		Events:    100,
+		Reached:   true,
+		Trace: []sim.TraceEvent{
+			{Event: 1, Robot: 0, Kind: "look", Pos: geom.Pt(1, 2)},
+			{Event: 2, Robot: 0, Kind: "compute", Pos: geom.Pt(1, 2)},
+			{Event: 3, Robot: 0, Kind: "step", Pos: geom.Pt(2, 3)},
+		},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	h, events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Algorithm != "logvis" || h.N != 3 || !h.Reached || h.Epochs != 7 {
+		t.Errorf("header = %+v", h)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[2].Kind != "step" || events[2].X != 2 || events[2].Y != 3 {
+		t.Errorf("event = %+v", events[2])
+	}
+}
+
+func TestReadJSONLRejectsHeaderless(t *testing.T) {
+	r := strings.NewReader(`{"kind":"step","event":1}` + "\n")
+	if _, _, err := ReadJSONL(r); err == nil {
+		t.Error("headerless stream accepted")
+	}
+}
+
+func TestWritePositionsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	pts := []geom.Point{geom.Pt(1, 2), geom.Pt(3.5, -4)}
+	if err := WritePositionsCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "x,y" {
+		t.Errorf("csv = %q", buf.String())
+	}
+	if lines[2] != "3.5,-4" {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestWriteRunCSV(t *testing.T) {
+	var buf bytes.Buffer
+	results := []sim.Result{sampleResult(), sampleResult()}
+	if err := WriteRunCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "algorithm,scheduler,n,seed") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "logvis,async-random,3,42,true,7") {
+		t.Errorf("row = %q", lines[1])
+	}
+}

@@ -1,0 +1,210 @@
+// Package verify is an independent auditor for recorded runs: given the
+// event trace of a simulation (sim.Result with RecordTrace), it
+// reconstructs the world event by event and re-derives every safety
+// verdict from scratch — collisions, pass-throughs, concurrent path
+// crossings, palette compliance, and the terminal Complete Visibility
+// predicate. It shares the exact predicates with the engine but none of
+// its bookkeeping, so agreement between the two is a genuine cross-check
+// (the engine watching itself is not).
+//
+// cmd/visreplay -verify drives it; the test suite asserts
+// engine/auditor agreement across algorithms and schedulers.
+package verify
+
+import (
+	"fmt"
+
+	"luxvis/internal/exact"
+	"luxvis/internal/geom"
+	"luxvis/internal/model"
+	"luxvis/internal/sim"
+)
+
+// Report is the auditor's independent tally for one recorded run.
+type Report struct {
+	// Events is the number of trace events audited.
+	Events int
+	// Colocations counts exact position coincidences after any step.
+	Colocations int
+	// PassThroughs counts steps whose swept segment passed exactly
+	// through another robot's position.
+	PassThroughs int
+	// PathCrossings counts pairs of cycle-span-concurrent moves whose
+	// full path segments properly cross or collinearly overlap
+	// (exactly).
+	PathCrossings int
+	// PaletteViolations counts colors outside the declared palette.
+	PaletteViolations int
+	// FinalCV reports the exact Complete Visibility predicate on the
+	// reconstructed final configuration.
+	FinalCV bool
+	// Problems lists human-readable descriptions of everything found
+	// (capped at 100 entries).
+	Problems []string
+}
+
+func (r *Report) problem(format string, args ...any) {
+	if len(r.Problems) < 100 {
+		r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+	}
+}
+
+// Clean reports whether the audit found no safety violations at all.
+func (r *Report) Clean() bool {
+	return r.Colocations == 0 && r.PassThroughs == 0 &&
+		r.PathCrossings == 0 && r.PaletteViolations == 0
+}
+
+// move is a reconstructed relocation: consecutive step events of one
+// robot belonging to one cycle (bounded by that robot's look/compute
+// events).
+type move struct {
+	robot     int
+	from, to  geom.Point
+	lookEvent int
+	endEvent  int
+}
+
+// Audit reconstructs and re-verifies a recorded run. The result must
+// have been produced with Options.RecordTrace; start must be the run's
+// initial configuration (res.Trace does not repeat it). palette is the
+// algorithm's declared color set.
+func Audit(start []geom.Point, palette []model.Color, res sim.Result) (*Report, error) {
+	if len(res.Trace) == 0 {
+		return nil, fmt.Errorf("verify: result has no recorded trace")
+	}
+	n := len(start)
+	if n != res.N {
+		return nil, fmt.Errorf("verify: start has %d robots, result says %d", n, res.N)
+	}
+	rep := &Report{}
+	allowed := map[model.Color]bool{model.Off: true}
+	for _, c := range palette {
+		allowed[c] = true
+	}
+
+	pos := append([]geom.Point(nil), start...)
+	lastLook := make([]int, n)
+	for i := range lastLook {
+		lastLook[i] = -1
+	}
+	// Open moves per robot (in flight), and the log of completed moves
+	// for the concurrency sweep.
+	open := make([]*move, n)
+	var done []move
+
+	flush := func(r int, event int) {
+		if open[r] != nil {
+			open[r].endEvent = event
+			done = append(done, *open[r])
+			open[r] = nil
+		}
+	}
+
+	for _, e := range res.Trace {
+		rep.Events++
+		p := geom.Pt(e.Pos.X, e.Pos.Y)
+		switch e.Kind {
+		case "look":
+			flush(e.Robot, e.Event)
+			lastLook[e.Robot] = e.Event
+		case "compute":
+			if !allowed[e.Color] {
+				rep.PaletteViolations++
+				rep.problem("event %d: robot %d lit undeclared color %v", e.Event, e.Robot, e.Color)
+			}
+		case "step":
+			old := pos[e.Robot]
+			// Audit the swept sub-segment against every other robot.
+			for o := 0; o < n; o++ {
+				if o == e.Robot {
+					continue
+				}
+				q := pos[o]
+				if q.X == p.X && q.Y == p.Y {
+					rep.Colocations++
+					rep.problem("event %d: robots %d and %d at %v", e.Event, e.Robot, o, p)
+					continue
+				}
+				if geom.Seg(old, p).Dist(q) <= 10*geom.Eps &&
+					exact.StrictlyBetween(exact.FromFloat(old), exact.FromFloat(p), exact.FromFloat(q)) {
+					rep.PassThroughs++
+					rep.problem("event %d: robot %d passed through robot %d at %v", e.Event, e.Robot, o, q)
+				}
+			}
+			if open[e.Robot] == nil {
+				open[e.Robot] = &move{
+					robot:     e.Robot,
+					from:      old,
+					lookEvent: lastLook[e.Robot],
+				}
+			}
+			open[e.Robot].to = p
+			open[e.Robot].endEvent = e.Event
+			pos[e.Robot] = p
+		default:
+			return nil, fmt.Errorf("verify: unknown trace event kind %q", e.Kind)
+		}
+	}
+	lastEvent := res.Trace[len(res.Trace)-1].Event
+	for r := range open {
+		flush(r, lastEvent)
+	}
+
+	rep.PathCrossings = crossingSweep(done, rep)
+	rep.FinalCV = exact.CompleteVisibilityHybrid(pos)
+
+	// Cross-check the reconstructed final configuration against the
+	// engine's.
+	for i := range pos {
+		if !pos[i].Eq(res.Final[i]) {
+			return nil, fmt.Errorf("verify: reconstructed position %d = %v, engine recorded %v",
+				i, pos[i], res.Final[i])
+		}
+	}
+	return rep, nil
+}
+
+// crossingSweep counts cycle-span-concurrent move pairs with properly
+// crossing (or collinearly overlapping) paths — the same conservative
+// concurrency notion as the engine, derived independently: moves A and B
+// conflict when A's span [lookEvent, endEvent] overlaps B's motion
+// window and their full segments intersect improperly.
+func crossingSweep(moves []move, rep *Report) int {
+	count := 0
+	for i := 0; i < len(moves); i++ {
+		for j := i + 1; j < len(moves); j++ {
+			a, b := moves[i], moves[j]
+			if a.robot == b.robot {
+				continue
+			}
+			// Sequential iff one move ends before the other robot even
+			// took the snapshot that decided its move; everything else
+			// is potentially concurrent in continuous time (the
+			// engine's notion, re-derived).
+			if a.endEvent <= b.lookEvent || b.endEvent <= a.lookEvent {
+				continue
+			}
+			sa := geom.Seg(a.from, a.to)
+			sb := geom.Seg(b.from, b.to)
+			kind, _ := sa.Intersect(sb)
+			hit := false
+			switch kind {
+			case geom.ProperCrossing:
+				hit = exact.SegmentsProperlyCross(
+					exact.FromFloat(sa.A), exact.FromFloat(sa.B),
+					exact.FromFloat(sb.A), exact.FromFloat(sb.B))
+			case geom.Overlapping:
+				hit = exact.SegmentsOverlap(
+					exact.FromFloat(sa.A), exact.FromFloat(sa.B),
+					exact.FromFloat(sb.A), exact.FromFloat(sb.B))
+			}
+			if hit {
+				count++
+				rep.problem("moves of robots %d (events %d-%d) and %d (events %d-%d) cross",
+					a.robot, a.lookEvent, a.endEvent, b.robot, b.lookEvent, b.endEvent)
+			}
+		}
+	}
+	return count
+}

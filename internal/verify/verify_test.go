@@ -1,0 +1,138 @@
+package verify_test
+
+import (
+	"testing"
+
+	"luxvis/internal/baseline"
+	"luxvis/internal/circlevis"
+	"luxvis/internal/config"
+	"luxvis/internal/core"
+	"luxvis/internal/model"
+	"luxvis/internal/sched"
+	"luxvis/internal/sim"
+	"luxvis/internal/verify"
+)
+
+func auditRun(t *testing.T, algo model.Algorithm, fam config.Family, n int, schedName string, seed int64) (*verify.Report, sim.Result) {
+	t.Helper()
+	pts := config.Generate(fam, n, seed)
+	opt := sim.DefaultOptions(sched.ByName(schedName), seed)
+	opt.RecordTrace = true
+	opt.MaxEpochs = 2000
+	res, err := sim.Run(algo, pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := verify.Audit(pts, algo.Palette(), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, res
+}
+
+// The heart of the package: the auditor, rebuilding the run from the
+// trace with its own bookkeeping, must agree with the engine's verdicts.
+func TestAuditorAgreesWithEngine(t *testing.T) {
+	algos := []model.Algorithm{core.NewLogVis(), baseline.NewSeqVis(), circlevis.NewCircleVis()}
+	for _, algo := range algos {
+		for _, schedName := range []string{"fsync", "async-random", "async-stale"} {
+			rep, res := auditRun(t, algo, config.Uniform, 20, schedName, 9)
+			label := algo.Name() + "/" + schedName
+			if got, want := rep.Colocations+rep.PassThroughs, res.Collisions; got != want {
+				t.Errorf("%s: auditor collisions %d, engine %d", label, got, want)
+			}
+			if got, want := rep.PathCrossings, res.PathCrossings; got != want {
+				t.Errorf("%s: auditor crossings %d, engine %d\n%v", label, got, want, rep.Problems)
+			}
+			if rep.FinalCV != res.Reached {
+				// Reached additionally requires quiescence; if the run
+				// converged, the final CV must hold.
+				if res.Reached && !rep.FinalCV {
+					t.Errorf("%s: engine reached but auditor's CV fails", label)
+				}
+			}
+		}
+	}
+}
+
+// An algorithm engineered to violate safety must be flagged by the
+// auditor just as the engine flags it.
+type swapAlgo struct{}
+
+func (swapAlgo) Name() string           { return "swap" }
+func (swapAlgo) Palette() []model.Color { return []model.Color{model.Off, model.Done} }
+func (swapAlgo) Compute(s model.Snapshot) model.Action {
+	if s.Self.Color == model.Done || len(s.Others) != 1 {
+		return model.Stay(s.Self.Pos, model.Done)
+	}
+	return model.MoveTo(s.Others[0].Pos, model.Done)
+}
+
+func TestAuditorFlagsSwap(t *testing.T) {
+	pts := config.Generate(config.Line, 2, 1)
+	opt := sim.DefaultOptions(sched.NewFSync(), 1)
+	opt.RecordTrace = true
+	opt.MaxEpochs = 5
+	res, err := sim.Run(swapAlgo{}, pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := verify.Audit(pts, swapAlgo{}.Palette(), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Error("auditor passed a position-swapping run")
+	}
+	if rep.PathCrossings != res.PathCrossings {
+		t.Errorf("auditor crossings %d, engine %d", rep.PathCrossings, res.PathCrossings)
+	}
+}
+
+type badColorAlgo struct{}
+
+func (badColorAlgo) Name() string           { return "badcolor" }
+func (badColorAlgo) Palette() []model.Color { return []model.Color{model.Off} }
+func (badColorAlgo) Compute(s model.Snapshot) model.Action {
+	return model.Stay(s.Self.Pos, model.Beacon)
+}
+
+func TestAuditorFlagsPalette(t *testing.T) {
+	pts := config.Generate(config.Uniform, 3, 1)
+	opt := sim.DefaultOptions(sched.NewFSync(), 1)
+	opt.RecordTrace = true
+	opt.MaxEpochs = 3
+	res, err := sim.Run(badColorAlgo{}, pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := verify.Audit(pts, badColorAlgo{}.Palette(), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PaletteViolations == 0 {
+		t.Error("auditor missed the undeclared color")
+	}
+}
+
+func TestAuditErrors(t *testing.T) {
+	pts := config.Generate(config.Uniform, 4, 1)
+	// No trace recorded.
+	res, err := sim.Run(core.NewLogVis(), pts, sim.DefaultOptions(sched.NewFSync(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.Audit(pts, core.NewLogVis().Palette(), res); err == nil {
+		t.Error("traceless result accepted")
+	}
+	// Wrong start size.
+	opt := sim.DefaultOptions(sched.NewFSync(), 1)
+	opt.RecordTrace = true
+	res, err = sim.Run(core.NewLogVis(), pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.Audit(pts[:2], core.NewLogVis().Palette(), res); err == nil {
+		t.Error("mismatched start accepted")
+	}
+}
