@@ -1,0 +1,29 @@
+# luxvis build gates. `make check` is the full pre-merge battery; the
+# individual targets mirror the CI jobs in .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: build test lint vet race check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## lint: run the domain-aware static analysis suite (see DESIGN.md,
+## "Static invariants"). Fails on any error-severity finding.
+lint:
+	$(GO) run ./cmd/vislint ./...
+
+vet:
+	$(GO) vet ./...
+
+## race: the concurrent runtime (one goroutine per robot) and the
+## engine under the race detector.
+race:
+	$(GO) test -race ./internal/rt/... ./internal/sim/...
+
+## check: everything a PR must pass, in fail-fast order.
+check: build vet lint test race
+	@echo "all gates passed"

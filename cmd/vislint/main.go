@@ -1,0 +1,161 @@
+// Command vislint is luxvis's domain-aware static analysis gate. It
+// type-checks the whole module with nothing but the standard library
+// and runs the internal/lint analyzer suite — floateq, palette,
+// mutexdiscipline, nondet, ctxcancel — each of which protects one of
+// the paper's invariants at build time (see DESIGN.md, "Static
+// invariants"). It prints findings as file:line:col with severity and
+// explanation, and exits 1 when any error-severity finding survives
+// the //lint:allow directives.
+//
+// Usage:
+//
+//	go run ./cmd/vislint ./...
+//	go run ./cmd/vislint -list
+//	go run ./cmd/vislint -run floateq,nondet ./internal/sim
+//
+// Package arguments narrow reporting to the matching directories; the
+// whole module is always loaded (analysis needs full type
+// information), so ./... and no arguments are equivalent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"luxvis/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("vislint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	runNames := fs.String("run", "", "comma-separated analyzer subset (default: all)")
+	quiet := fs.Bool("q", false, "print only the summary line")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: vislint [flags] [packages]\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	var names []string
+	if *runNames != "" {
+		names = strings.Split(*runNames, ",")
+	}
+	analyzers, err := lint.ByName(names...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "vislint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "vislint:", err)
+		return 2
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "vislint:", err)
+		return 2
+	}
+	pkgs = filterPackages(pkgs, root, cwd, fs.Args())
+	if len(pkgs) == 0 {
+		// A pattern that matches nothing is a typo'd path, and silently
+		// reporting "0 findings" on it would be a false green gate.
+		fmt.Fprintf(stderr, "vislint: no packages match %v\n", fs.Args())
+		return 2
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	errs := 0
+	for _, f := range findings {
+		if f.Severity == lint.Error {
+			errs++
+		}
+		if !*quiet {
+			f.Pos.Filename = relPath(root, f.Pos.Filename)
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	fmt.Fprintf(stdout, "vislint: %d package(s), %d finding(s), %d error(s)\n",
+		len(pkgs), len(findings), errs)
+	if errs > 0 {
+		return 1
+	}
+	return 0
+}
+
+// filterPackages narrows the loaded set to the requested patterns.
+// "./..." (or no patterns) keeps everything; "./internal/sim" or
+// "internal/sim" keeps that directory and, with a trailing "...", its
+// subtree. Patterns resolve relative to cwd.
+func filterPackages(pkgs []*lint.Package, root, cwd string, patterns []string) []*lint.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	var keep []*lint.Package
+	for _, p := range pkgs {
+		for _, pat := range patterns {
+			if matchPattern(p.Dir, root, cwd, pat) {
+				keep = append(keep, p)
+				break
+			}
+		}
+	}
+	return keep
+}
+
+// matchPattern reports whether a package directory matches one CLI
+// pattern.
+func matchPattern(dir, root, cwd, pat string) bool {
+	recursive := false
+	if strings.HasSuffix(pat, "/...") {
+		recursive = true
+		pat = strings.TrimSuffix(pat, "/...")
+	} else if pat == "..." {
+		recursive, pat = true, "."
+	}
+	base := cwd
+	if filepath.IsAbs(pat) {
+		base = ""
+	}
+	target := filepath.Clean(filepath.Join(base, pat))
+	if dir == target {
+		return true
+	}
+	if recursive {
+		rel, err := filepath.Rel(target, dir)
+		return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator))
+	}
+	return false
+}
+
+// relPath renders an absolute finding path relative to the module root
+// for stable, clickable output.
+func relPath(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

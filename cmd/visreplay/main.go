@@ -200,7 +200,7 @@ func runAudit(header trace.Header, events []trace.Event) error {
 
 // colorByName inverts model.Color.String() for trace deserialization.
 func colorByName(name string) model.Color {
-	for c := model.Color(0); c < model.NumColors; c++ {
+	for _, c := range model.AllColors() {
 		if c.String() == name {
 			return c
 		}

@@ -135,9 +135,19 @@ func Simulate(curve Curve, from []geom.Point, opt Options) (Result, error) {
 			iv, d, t := nearestInterval(curve, placed, landers[li].pos, opt.Margin)
 			proposals[iv] = append(proposals[iv], proposal{lander: li, dist: d, t: t})
 		}
-		// Each interval accepts its nearest proposers.
+		// Each interval accepts its nearest proposers. Intervals are
+		// visited in ascending index order — proposals is a map, and map
+		// iteration order would make the landing order (hence Params and
+		// PlacedPerRound) differ between runs of the same seed.
+		intervals := make([]int, 0, len(proposals))
+		//lint:allow nondet keys are sorted before use; this loop only collects them
+		for iv := range proposals {
+			intervals = append(intervals, iv)
+		}
+		sort.Ints(intervals)
 		var newParams []float64
-		for _, props := range proposals {
+		for _, iv := range intervals {
+			props := proposals[iv]
 			sort.Slice(props, func(a, b int) bool { return props[a].dist < props[b].dist })
 			take := opt.PerIntervalPerRound
 			if take > len(props) {
@@ -152,8 +162,13 @@ func Simulate(curve Curve, from []geom.Point, opt Options) (Result, error) {
 		placed = append(placed, newParams...)
 		sort.Float64s(placed)
 		for i := 1; i < len(placed); i++ {
-			if placed[i] == placed[i-1] {
-				return res, fmt.Errorf("bdcp: duplicate landing parameter %v in round %d", placed[i], round+1)
+			// Epsilon-banded, not exact: two landing parameters closer
+			// than the geometry tolerance put robots on (float-)coincident
+			// curve points, which is the collision the margin logic must
+			// prevent — exact duplicates are just its worst case.
+			if placed[i]-placed[i-1] <= geom.Eps {
+				return res, fmt.Errorf("bdcp: landing parameters %v and %v collide in round %d",
+					placed[i-1], placed[i], round+1)
 			}
 		}
 		res.Rounds++

@@ -72,7 +72,7 @@ func (a *CircleVis) Compute(s model.Snapshot) model.Action {
 	if dir.Norm() < geom.Eps*math.Max(1, sec.R) {
 		v, _ := s.Nearest()
 		dir = v.Pos.Sub(self)
-		if dir.Norm() == 0 {
+		if dir.Norm() <= geom.Eps {
 			return model.Stay(self, model.Off)
 		}
 	}

@@ -393,6 +393,10 @@ func (a *LogVis) slotContested(s model.Snapshot, sl slot) bool {
 			continue
 		}
 		d := seg.Dist(o.Pos)
+		// The tie-break needs a strict total order on (distance,
+		// position); an epsilon band here would make "contested" fail
+		// transitivity and let two robots defer to each other forever.
+		//lint:allow floateq exact comparison needed for a total tie-break order
 		if d < myDist || (d == myDist && o.Pos.Less(s.Self.Pos)) {
 			return true
 		}

@@ -1,0 +1,79 @@
+package lint_test
+
+import (
+	"testing"
+
+	"luxvis/internal/lint"
+)
+
+const ctxFixture = `package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func leak(n int) {
+	for i := 0; i < n; i++ {
+		go func() { // want
+			_ = i
+		}()
+	}
+}
+
+func leakCall(f func()) {
+	go f() // want
+}
+
+func withCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func withCtxArg(ctx context.Context, f func(context.Context)) {
+	go f(ctx)
+}
+
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func doneButNoWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want
+		defer wg.Done()
+	}()
+}
+
+func waitButNoDone(f func()) {
+	var wg sync.WaitGroup
+	go f() // want
+	wg.Wait()
+}
+`
+
+func TestCtxCancel(t *testing.T) {
+	findings := runFixture(t, "luxvis/internal/rt", ctxFixture, lint.CtxCancel{})
+	assertWants(t, ctxFixture, findings)
+}
+
+// TestCtxCancelScope: only the concurrent packages are in scope.
+func TestCtxCancelScope(t *testing.T) {
+	findings := runFixture(t, "luxvis/internal/sim", ctxFixture, lint.CtxCancel{})
+	if len(findings) != 0 {
+		t.Fatalf("out-of-scope package produced findings: %v", findings)
+	}
+	findings = runFixture(t, "luxvis/internal/exp", ctxFixture, lint.CtxCancel{})
+	if len(findings) == 0 {
+		t.Fatal("internal/exp should be in scope")
+	}
+}

@@ -1,0 +1,82 @@
+package lint
+
+import "strings"
+
+// allowPrefix is the directive comment form:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// A directive suppresses findings of <analyzer> (or every analyzer,
+// with the name "all") on its own line and on the line immediately
+// below — so it works both as a trailing comment and as a line of its
+// own above the exception. The reason is mandatory: exceptions without
+// a written justification are exactly the rot the gate exists to stop.
+const allowPrefix = "//lint:allow"
+
+// directiveSet indexes allow-directives by file and line.
+type directiveSet map[string]map[int][]string // filename -> line -> analyzers
+
+func (d directiveSet) add(file string, line int, analyzer string) {
+	m := d[file]
+	if m == nil {
+		m = make(map[int][]string)
+		d[file] = m
+	}
+	m[line] = append(m[line], analyzer)
+}
+
+// allows reports whether finding f is covered by a directive on its
+// line or the line above it.
+func (d directiveSet) allows(f Finding) bool {
+	m := d[f.Pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, a := range m[line] {
+			if a == f.Analyzer || a == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectDirectives scans a package's comments for //lint:allow
+// directives. Malformed directives (unknown analyzer, missing reason)
+// are returned as error findings so they cannot silently suppress
+// anything.
+func collectDirectives(p *Package) (directiveSet, []Finding) {
+	known := map[string]bool{"all": true}
+	for _, a := range All() {
+		known[a.Name()] = true
+	}
+	set := make(directiveSet)
+	var bad []Finding
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, finding(p, "directive", c.Pos(), Error,
+						"malformed %s: missing analyzer name and reason", allowPrefix))
+				case !known[fields[0]]:
+					bad = append(bad, finding(p, "directive", c.Pos(), Error,
+						"%s names unknown analyzer %q", allowPrefix, fields[0]))
+				case len(fields) < 2:
+					bad = append(bad, finding(p, "directive", c.Pos(), Error,
+						"%s %s: a reason is required", allowPrefix, fields[0]))
+				default:
+					pos := p.Fset.Position(c.Pos())
+					set.add(pos.Filename, pos.Line, fields[0])
+				}
+			}
+		}
+	}
+	return set, bad
+}

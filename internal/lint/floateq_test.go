@@ -1,0 +1,62 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"luxvis/internal/lint"
+)
+
+const floatEqFixture = `package fixture
+
+func eqF64(a, b float64) bool {
+	return a == b // want
+}
+
+func neqF32(a, b float32) bool { return a != b } // want
+
+type myFloat float64
+
+func eqNamed(a, b myFloat) bool { return a == b } // want
+
+func switchTag(x float64) int {
+	switch x { // want
+	case 1.0:
+		return 1
+	}
+	return 0
+}
+
+func mixed(a float64, b int) bool { return a == float64(b) } // want
+
+func ints(a, b int) bool { return a == b }
+
+func strs(a, b string) bool { return a == b }
+
+func ordered(a, b float64) bool { return a < b }
+
+func switchNoTag(x float64) int {
+	switch {
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+`
+
+func TestFloatEq(t *testing.T) {
+	findings := runFixture(t, "luxvis/internal/fixture", floatEqFixture, lint.FloatEq{})
+	assertWants(t, floatEqFixture, findings)
+	if len(findings) == 0 || !strings.Contains(findings[0].Message, "geom.Eps") {
+		t.Errorf("message should point at the epsilon predicates, got %v", findings)
+	}
+}
+
+// TestFloatEqGeomExempt: internal/geom implements the epsilon
+// predicates and is the one place allowed to compare floats directly.
+func TestFloatEqGeomExempt(t *testing.T) {
+	findings := runFixture(t, "luxvis/internal/geom", floatEqFixture, lint.FloatEq{})
+	if len(findings) != 0 {
+		t.Fatalf("geom package produced %d findings: %v", len(findings), findings)
+	}
+}

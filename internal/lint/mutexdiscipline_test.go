@@ -1,0 +1,99 @@
+package lint_test
+
+import (
+	"testing"
+
+	"luxvis/internal/lint"
+)
+
+const mutexFixture = `package fixture
+
+import "sync"
+
+type world struct {
+	mu  sync.Mutex
+	pos []int
+	n   int
+}
+
+func bad(w *world) int {
+	return w.n // want
+}
+
+func badTwice(w *world) int {
+	w.pos[0] = 1 // want
+	return w.pos[1] + w.n // want
+}
+
+func good(w *world) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+func goodRead(w *world) []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]int(nil), w.pos...)
+}
+
+func snapshotLocked(w *world) int { return w.n }
+
+type pre struct {
+	free int
+	mu   sync.Mutex
+	val  int
+}
+
+func readFree(p *pre) int { return p.free }
+
+func badVal(p *pre) int { return p.val } // want
+
+type commented struct {
+	data int // guarded by mu
+	mu   sync.Mutex
+}
+
+func badData(c *commented) int { return c.data } // want
+
+type embedded struct {
+	sync.Mutex
+	v int
+}
+
+func badEmb(e *embedded) int { return e.v } // want
+
+func goodEmb(e *embedded) int {
+	e.Lock()
+	defer e.Unlock()
+	return e.v
+}
+
+type plain struct {
+	a, b int
+}
+
+func freeForAll(p *plain) int { return p.a + p.b }
+`
+
+func TestMutexDiscipline(t *testing.T) {
+	findings := runFixture(t, "luxvis/internal/fixture", mutexFixture, lint.MutexDiscipline{})
+	assertWants(t, mutexFixture, findings)
+}
+
+// TestMutexDisciplineNoSync: packages that do not import sync have no
+// mutexes to discipline.
+func TestMutexDisciplineNoSync(t *testing.T) {
+	src := `package fixture
+
+type world struct {
+	n int
+}
+
+func f(w *world) int { return w.n }
+`
+	findings := runFixture(t, "luxvis/internal/fixture", src, lint.MutexDiscipline{})
+	if len(findings) != 0 {
+		t.Fatalf("sync-free package produced findings: %v", findings)
+	}
+}

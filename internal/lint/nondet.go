@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NonDet enforces seeded-replay determinism inside the algorithm
+// packages (internal/core, internal/bdcp, internal/sched,
+// internal/sim): a run is reproducible per (algorithm, start, Options)
+// — that is what makes traces auditable by internal/verify and every
+// experiment table regenerable. Three constructs silently break that
+// contract and are flagged: wall-clock reads (time.Now and friends),
+// package-level math/rand functions (they draw from the global,
+// unseeded source instead of the run's threaded *rand.Rand), and
+// ranging over a map (Go randomizes iteration order per run, so any
+// order-sensitive consumer diverges between replays).
+type NonDet struct{}
+
+// Name implements Analyzer.
+func (NonDet) Name() string { return "nondet" }
+
+// Doc implements Analyzer.
+func (NonDet) Doc() string {
+	return "forbid wall clock, global math/rand and map iteration in the deterministic algorithm packages"
+}
+
+// nonDetScope lists the packages where seeded determinism is part of
+// the contract.
+var nonDetScope = []string{"internal/core", "internal/bdcp", "internal/sched", "internal/sim"}
+
+// wallClockFuncs are the time package functions that read or depend on
+// the wall clock or a timer.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"Sleep": true,
+}
+
+// seededRandFuncs are the math/rand package-level functions that are
+// pure constructors (safe: they wrap an explicit source) rather than
+// draws from the shared global source.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// Check implements Analyzer.
+func (a NonDet) Check(p *Package) []Finding {
+	inScope := false
+	for _, s := range nonDetScope {
+		if p.PathHasSuffix(s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch pkgNameOf(p, sel.X) {
+				case "time":
+					if wallClockFuncs[sel.Sel.Name] {
+						out = append(out, finding(p, a.Name(), n.Pos(), Error,
+							"time.%s reads the wall clock; runs must be deterministic per seed for replay/audit — derive timing from event counts",
+							sel.Sel.Name))
+					}
+				case "math/rand", "math/rand/v2":
+					if !seededRandFuncs[sel.Sel.Name] {
+						out = append(out, finding(p, a.Name(), n.Pos(), Error,
+							"rand.%s draws from the global source; thread the run's seeded *rand.Rand instead",
+							sel.Sel.Name))
+					}
+				}
+			case *ast.RangeStmt:
+				if t := p.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						out = append(out, finding(p, a.Name(), n.Range, Error,
+							"map iteration order is randomized per run; iterate sorted keys (or an index-keyed slice) so replays are deterministic"))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

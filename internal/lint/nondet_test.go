@@ -1,0 +1,79 @@
+package lint_test
+
+import (
+	"testing"
+
+	"luxvis/internal/lint"
+)
+
+const nonDetFixture = `package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want
+}
+
+func global() int {
+	return rand.Intn(10) // want
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func mapOrder(m map[int]int) []int {
+	var out []int
+	for k := range m { // want
+		out = append(out, k)
+	}
+	return out
+}
+
+func sliceOrder(s []int) int {
+	n := 0
+	for i := range s {
+		n += i
+	}
+	return n
+}
+
+func duration() time.Duration {
+	return 5 * time.Millisecond
+}
+`
+
+func TestNonDet(t *testing.T) {
+	// internal/sim is one of the deterministic algorithm packages.
+	findings := runFixture(t, "luxvis/internal/sim", nonDetFixture, lint.NonDet{})
+	assertWants(t, nonDetFixture, findings)
+}
+
+// TestNonDetScope: determinism is only contractual for the algorithm
+// packages; harness code (internal/exp, cmd/...) may use the clock.
+func TestNonDetScope(t *testing.T) {
+	for _, path := range []string{"luxvis/internal/exp", "luxvis/internal/svgx", "luxvis/cmd/vissim"} {
+		findings := runFixture(t, path, nonDetFixture, lint.NonDet{})
+		if len(findings) != 0 {
+			t.Fatalf("%s: out-of-scope package produced findings: %v", path, findings)
+		}
+	}
+	for _, path := range []string{"luxvis/internal/core", "luxvis/internal/bdcp", "luxvis/internal/sched"} {
+		findings := runFixture(t, path, nonDetFixture, lint.NonDet{})
+		if len(findings) == 0 {
+			t.Fatalf("%s: in-scope package produced no findings", path)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"luxvis/internal/lint"
+)
+
+const paletteFixture = `package fixture
+
+import "luxvis/internal/model"
+
+func mint(x uint8) model.Color {
+	return model.Color(x) // want
+}
+
+func magic(c model.Color) bool {
+	return c == 3 // want
+}
+
+func undeclared(c model.Color) bool {
+	return c == 99 // want
+}
+
+func assigned() model.Color {
+	var c model.Color = 5 // want
+	return c
+}
+
+func named(c model.Color) bool { return c == model.Corner }
+
+func enumerate() int { return len(model.AllColors()) }
+
+func sliceConv(cs []model.Color) []model.Color {
+	return append([]model.Color(nil), cs...)
+}
+
+func widen(c model.Color) uint8 { return uint8(c) }
+`
+
+func TestPalette(t *testing.T) {
+	model := modulePackage(t, "internal/model")
+	findings := runFixture(t, "luxvis/internal/fixture", paletteFixture, lint.PaletteDiscipline{}, model)
+	assertWants(t, paletteFixture, findings)
+
+	// The in-palette literal should name its constant; 3 is model.Side.
+	named := false
+	for _, f := range findings {
+		if strings.Contains(f.Message, "model.Side") {
+			named = true
+		}
+	}
+	if !named {
+		t.Errorf("no finding suggests model.Side for literal 3: %v", findings)
+	}
+}
+
+// TestPaletteModelExempt: internal/model declares the palette and may
+// do whatever it needs with Color values.
+func TestPaletteModelExempt(t *testing.T) {
+	model := modulePackage(t, "internal/model")
+	src := strings.Replace(paletteFixture, "package fixture", "package fixture2", 1)
+	findings := runFixture(t, "luxvis/internal/model", src, lint.PaletteDiscipline{}, model)
+	if len(findings) != 0 {
+		t.Fatalf("model-path package produced %d findings: %v", len(findings), findings)
+	}
+}
+
+// TestPaletteNoModelImport: packages that never touch the model are
+// skipped entirely.
+func TestPaletteNoModelImport(t *testing.T) {
+	src := `package fixture
+
+func f(a, b int) int { return a + b }
+`
+	findings := runFixture(t, "luxvis/internal/fixture", src, lint.PaletteDiscipline{})
+	if len(findings) != 0 {
+		t.Fatalf("model-free package produced findings: %v", findings)
+	}
+}

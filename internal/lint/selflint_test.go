@@ -1,0 +1,45 @@
+package lint_test
+
+import (
+	"testing"
+
+	"luxvis/internal/lint"
+)
+
+// TestSelfLintClean is the integration gate: the full analyzer suite
+// must run clean over this repository. Every deliberate exception is
+// annotated in the source with //lint:allow and a reason; anything this
+// test reports is either a real violation of a paper invariant or a
+// missing annotation — fix the code, don't relax the test.
+func TestSelfLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	pkgs := loadedModule(t)
+	if len(pkgs) < 20 {
+		t.Fatalf("module loader found only %d packages; discovery is broken", len(pkgs))
+	}
+	for _, f := range lint.Run(pkgs, lint.All()) {
+		t.Errorf("self-lint: %s", f)
+	}
+}
+
+// TestLoadModulePositions spot-checks that loaded packages carry real
+// file positions and type info — the properties every analyzer relies
+// on.
+func TestLoadModulePositions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	geom := modulePackage(t, "internal/geom")
+	if len(geom.Files) == 0 {
+		t.Fatal("geom has no files")
+	}
+	if geom.Pkg.Scope().Lookup("Eps") == nil {
+		t.Error("geom.Eps not in package scope")
+	}
+	pos := geom.Fset.Position(geom.Files[0].Package)
+	if pos.Filename == "" || pos.Line == 0 {
+		t.Errorf("bad position %v", pos)
+	}
+}

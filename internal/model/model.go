@@ -50,6 +50,15 @@ var colorNames = [NumColors]string{
 	"off", "line", "corner", "side", "interior", "transit", "beacon", "done",
 }
 
+// AllColors returns the full shared palette in declaration order. It is
+// the sanctioned way to enumerate colors outside this package: vislint's
+// palette analyzer forbids minting Color values from integers anywhere
+// else, so palette-wide loops (legends, masks, trace decoding) go
+// through this helper instead.
+func AllColors() []Color {
+	return []Color{Off, Line, Corner, Side, Interior, Transit, Beacon, Done}
+}
+
 func (c Color) String() string {
 	if int(c) < len(colorNames) {
 		return colorNames[c]

@@ -100,6 +100,10 @@ func (e *engine) checkSubStep(r int, old, next geom.Point) {
 		}
 		q := e.pos[o]
 		if q.Eq(next) {
+			// Refine the epsilon hit to bitwise coincidence: colocation
+			// is "same exact position", and the exact.* confirmation
+			// below only covers the pass-through case.
+			//lint:allow floateq exact colocation is the property being checked
 			if q.X == next.X && q.Y == next.Y {
 				e.violate(VColocation, r, o, fmt.Sprintf("both at %v", next))
 			}
@@ -125,9 +129,9 @@ func (e *engine) checkSubStep(r int, old, next geom.Point) {
 // Every conflicting pair is examined exactly once — when the later move
 // starts.
 func (e *engine) checkPathCross(r int, seg geom.Segment) {
-	for o, oseg := range e.activeMoves {
-		if o != r {
-			e.confirmPathCross(r, o, seg, oseg)
+	for o := range e.activeMoves {
+		if o != r && e.activeMove[o] {
+			e.confirmPathCross(r, o, seg, e.activeMoves[o])
 		}
 	}
 	myLook := e.plan[r].lookEvent
@@ -210,7 +214,7 @@ func ColorsOf(cols []model.Color) []model.Color {
 		mask |= 1 << uint(c)
 	}
 	var out []model.Color
-	for c := model.Color(0); c < model.NumColors; c++ {
+	for _, c := range model.AllColors() {
 		if mask&(1<<uint(c)) != 0 {
 			out = append(out, c)
 		}

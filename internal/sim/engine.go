@@ -213,9 +213,13 @@ type engine struct {
 	robotDist []float64
 	colorMask uint32
 
-	// active moves for path-crossing checks (robot -> plan segment);
-	// only robots in Moving stage.
-	activeMoves map[int]geom.Segment
+	// active moves for path-crossing checks, indexed by robot; entry r
+	// is valid only while activeMove[r] is set (robot r in Moving
+	// stage). A dense slice rather than a map so the path-crossing scan
+	// visits robots in index order — map iteration order would make the
+	// order of recorded violations differ between replays of one seed.
+	activeMoves []geom.Segment
+	activeMove  []bool
 	// recentMoves are completed moves that may still overlap an
 	// in-progress cycle (see doneMove).
 	recentMoves []doneMove
@@ -278,7 +282,8 @@ func Run(algo model.Algorithm, start []geom.Point, opt Options) (Result, error) 
 		epochBase:     make([]int, n),
 		cvCacheAt:     -1,
 		robotDist:     make([]float64, n),
-		activeMoves:   make(map[int]geom.Segment),
+		activeMoves:   make([]geom.Segment, n),
+		activeMove:    make([]bool, n),
 	}
 	for _, c := range algo.Palette() {
 		e.palette[c] = true
@@ -404,6 +409,7 @@ func (e *engine) doMoveStep(r int) {
 			e.checkPathCross(r, seg)
 		}
 		e.activeMoves[r] = seg
+		e.activeMove[r] = true
 	}
 	p.stepsDone++
 	e.st[r].StepsLeft--
@@ -427,7 +433,7 @@ func (e *engine) doMoveStep(r int) {
 		e.res.Moves++
 		e.res.TotalDist += d
 		e.robotDist[r] += d
-		delete(e.activeMoves, r)
+		e.activeMove[r] = false
 		if !e.opt.SkipSafetyChecks {
 			e.recentMoves = append(e.recentMoves, doneMove{
 				robot:     r,

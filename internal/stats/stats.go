@@ -71,7 +71,11 @@ func fit(xs, ys []float64, f func(float64) float64) (Fit, error) {
 	}
 	fn := float64(n)
 	den := fn*sxx - sx*sx
-	if den == 0 {
+	// den = n·Σx² − (Σx)² ≥ 0 (Cauchy–Schwarz) and vanishes exactly when
+	// all x are equal; compare against a magnitude-scaled band rather
+	// than zero so near-degenerate inputs fail loudly instead of
+	// producing an astronomically amplified slope.
+	if den <= 1e-12*fn*sxx {
 		return Fit{}, errors.New("stats: degenerate x values")
 	}
 	slope := (fn*sxy - sx*sy) / den

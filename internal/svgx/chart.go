@@ -74,7 +74,9 @@ func RenderLineChart(w io.Writer, series []Series, opt ChartOptions) error {
 	if math.IsInf(minX, 1) {
 		return fmt.Errorf("svgx: chart with empty series")
 	}
-	if maxX == minX {
+	// Epsilon-banded so a visually-degenerate span (all x within float
+	// noise) also widens instead of dividing the pixel scale by ~0.
+	if maxX-minX <= 1e-9 {
 		maxX = minX + 1
 	}
 	if maxY <= minY {
@@ -188,6 +190,9 @@ func niceStep(raw float64) float64 {
 
 // fmtTick formats a tick value without trailing noise.
 func fmtTick(v float64) string {
+	// Trunc(v) == v is the canonical exact integrality test; an epsilon
+	// band would print 2.0000000001 as "2" and lie on the axis.
+	//lint:allow floateq exact integrality test for tick labels
 	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
 		return fmt.Sprintf("%d", int64(v))
 	}

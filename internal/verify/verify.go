@@ -121,6 +121,10 @@ func Audit(start []geom.Point, palette []model.Color, res sim.Result) (*Report, 
 					continue
 				}
 				q := pos[o]
+				// Bitwise on purpose: the auditor recounts *exact*
+				// colocations, independently mirroring the engine's
+				// checkSubStep refinement of the epsilon hit.
+				//lint:allow floateq exact colocation is the property being audited
 				if q.X == p.X && q.Y == p.Y {
 					rep.Colocations++
 					rep.problem("event %d: robots %d and %d at %v", e.Event, e.Robot, o, p)
