@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint vet race check
+.PHONY: build test lint vet race fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,17 @@ lint:
 vet:
 	$(GO) vet ./...
 
-## race: the concurrent runtime (one goroutine per robot) and the
-## engine under the race detector.
+## race: the concurrent runtime (one goroutine per robot), the engine
+## and the HTTP service under the race detector.
 race:
-	$(GO) test -race ./internal/rt/... ./internal/sim/...
+	$(GO) test -race ./internal/rt/... ./internal/sim/... ./internal/serve/...
+
+## fuzz-smoke: short fuzz runs of the geometry differential targets,
+## mirroring the CI smoke (corpora live in internal/geom/testdata/fuzz).
+fuzz-smoke:
+	$(GO) test ./internal/geom -run '^$$' -fuzz '^FuzzVisibleAgainstNaive$$' -fuzztime 15s
+	$(GO) test ./internal/geom -run '^$$' -fuzz '^FuzzSegmentCross$$' -fuzztime 15s
 
 ## check: everything a PR must pass, in fail-fast order.
-check: build vet lint test race
+check: build vet lint test race fuzz-smoke
 	@echo "all gates passed"

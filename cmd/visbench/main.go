@@ -36,12 +36,23 @@ func main() {
 	if *expName != "all" {
 		names = strings.Split(*expName, ",")
 	}
+	// Validate every requested name before running anything: a typo in a
+	// comma-separated list should fail immediately with the known names,
+	// not after minutes of sweeps on the experiments before it.
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+		if !knownExperiment(names[i]) {
+			fmt.Fprintf(os.Stderr, "visbench: unknown experiment %q (known: %s)\n",
+				names[i], strings.Join(exp.Names(), ", "))
+			os.Exit(2)
+		}
+	}
 	for i, name := range names {
 		if i > 0 {
 			fmt.Println()
 		}
 		start := time.Now()
-		if err := exp.Run(strings.TrimSpace(name), cfg); err != nil {
+		if err := exp.Run(name, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "visbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -60,4 +71,15 @@ func main() {
 			fmt.Printf("figure: %s\n", p)
 		}
 	}
+}
+
+// knownExperiment reports whether name is one of the compiled-in
+// experiment identifiers.
+func knownExperiment(name string) bool {
+	for _, k := range exp.Names() {
+		if name == k {
+			return true
+		}
+	}
+	return false
 }

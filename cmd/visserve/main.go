@@ -1,0 +1,78 @@
+// Command visserve exposes the simulator as an HTTP JSON service: runs
+// and experiments execute on a bounded worker pool, repeated identical
+// run requests are served from an LRU cache, and overload is shed with
+// 429 instead of queueing without bound.
+//
+// Usage:
+//
+//	visserve                       # listen on :8080, NumCPU workers
+//	visserve -addr :9090 -workers 4 -queue 128
+//	visserve -timeout 30s -max-n 4096
+//
+// Try it:
+//
+//	curl 'localhost:8080/v1/run?algorithm=logvis&n=64&seed=7'
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"luxvis/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "simulation workers (0 = NumCPU)")
+		queue   = flag.Int("queue", 0, "job queue depth before shedding 429s (0 = default)")
+		cache   = flag.Int("cache", 0, "LRU result-cache entries (0 = default)")
+		timeout = flag.Duration("timeout", 0, "default per-job deadline (0 = 2m)")
+		maxN    = flag.Int("max-n", 0, "largest accepted swarm size (0 = default)")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		DefaultTimeout: *timeout,
+		MaxN:           *maxN,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("visserve: listening on %s\n", *addr)
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("visserve: shutting down (draining in-flight jobs)")
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "visserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Stop taking connections first, then drain the worker pool so
+	// every accepted job finishes (or hits its own deadline).
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "visserve: shutdown: %v\n", err)
+	}
+	if err := srv.Close(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "visserve: drain: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"luxvis/internal/baseline"
@@ -31,7 +32,7 @@ func main() {
 	var (
 		n          = flag.Int("n", 32, "number of robots")
 		algoName   = flag.String("algo", "logvis", "algorithm: logvis | seqvis")
-		schedName  = flag.String("sched", "async-random", "scheduler: fsync | ssync | async-random | async-stale")
+		schedName  = flag.String("sched", "async-random", "scheduler: fsync | ssync | async-random | async-stale | async-rr")
 		famName    = flag.String("family", "uniform", "initial configuration family")
 		seed       = flag.Int64("seed", 1, "random seed")
 		maxEpochs  = flag.Int("max-epochs", 4096, "epoch cap")
@@ -50,7 +51,20 @@ func main() {
 	case "seqvis":
 		algo = baseline.NewSeqVis()
 	default:
-		fmt.Fprintf(os.Stderr, "vissim: unknown algorithm %q\n", *algoName)
+		fmt.Fprintf(os.Stderr, "vissim: unknown algorithm %q (known: logvis, seqvis)\n", *algoName)
+		os.Exit(2)
+	}
+	// Validate user-supplied names before any work: config.Generate
+	// panics on unknown families (they are compiled into experiment
+	// tables), so the CLI checks first and fails with the known list.
+	if !knownFamily(config.Family(*famName)) {
+		fmt.Fprintf(os.Stderr, "vissim: unknown family %q (known: %s)\n",
+			*famName, familyList())
+		os.Exit(2)
+	}
+	scheduler, err := sched.ByNameErr(*schedName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vissim: %v\n", err)
 		os.Exit(2)
 	}
 	pts := config.Generate(config.Family(*famName), *n, *seed)
@@ -69,7 +83,7 @@ func main() {
 		return
 	}
 
-	opt := sim.DefaultOptions(sched.ByName(*schedName), *seed)
+	opt := sim.DefaultOptions(scheduler, *seed)
 	opt.MaxEpochs = *maxEpochs
 	opt.NonRigid = *nonRigid
 	opt.RecordTrace = *tracePath != ""
@@ -118,4 +132,25 @@ func main() {
 	if !res.Reached {
 		os.Exit(1)
 	}
+}
+
+// knownFamily reports whether f is one of the compiled-in workload
+// families.
+func knownFamily(f config.Family) bool {
+	for _, k := range config.Families() {
+		if f == k {
+			return true
+		}
+	}
+	return false
+}
+
+// familyList renders the known families for error messages.
+func familyList() string {
+	fams := config.Families()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = string(f)
+	}
+	return strings.Join(names, ", ")
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"luxvis/internal/config"
@@ -52,7 +53,7 @@ func A1Sagitta(cfg Config) (A1Result, error) {
 	fmt.Fprintln(w, "variant\tN\treached\tepochs(mean)\tcrossings")
 	for _, v := range variants {
 		for _, n := range ns {
-			cell, err := ablationCell(v.name, v.mk, n, seeds, 600)
+			cell, err := ablationCell(cfg.ctx(), v.name, v.mk, n, seeds, 600)
 			if err != nil {
 				return res, err
 			}
@@ -89,7 +90,7 @@ func A2Guard(cfg Config) (A2Result, error) {
 	fmt.Fprintln(w, "variant\tN\treached\tepochs(mean)\tcrossings\tcollisions")
 	for _, v := range variants {
 		for _, n := range ns {
-			cell, err := ablationCell(v.name, v.mk, n, seeds, 600)
+			cell, err := ablationCell(cfg.ctx(), v.name, v.mk, n, seeds, 600)
 			if err != nil {
 				return res, err
 			}
@@ -102,14 +103,14 @@ func A2Guard(cfg Config) (A2Result, error) {
 }
 
 // ablationCell runs one variant at one N across seeds.
-func ablationCell(name string, mk func() model.Algorithm, n, seeds, maxEpochs int) (AblationCell, error) {
+func ablationCell(ctx context.Context, name string, mk func() model.Algorithm, n, seeds, maxEpochs int) (AblationCell, error) {
 	cell := AblationCell{Variant: name, N: n}
 	var epochSum float64
 	for seed := int64(1); seed <= int64(seeds); seed++ {
 		pts := config.Generate(config.Uniform, n, seed)
 		opt := sim.DefaultOptions(sched.NewAsyncRandom(), seed)
 		opt.MaxEpochs = maxEpochs
-		r, err := sim.Run(mk(), pts, opt)
+		r, err := sim.RunCtx(ctx, mk(), pts, opt)
 		if err != nil {
 			return cell, err
 		}

@@ -30,7 +30,7 @@ func F7Convergence(cfg Config) (F7Result, error) {
 	if cfg.MaxEpochs > 0 {
 		opt.MaxEpochs = cfg.MaxEpochs
 	}
-	res, err := sim.Run(core.NewLogVis(), pts, opt)
+	res, err := sim.RunCtx(cfg.ctx(), core.NewLogVis(), pts, opt)
 	if err != nil {
 		return F7Result{}, err
 	}
@@ -67,11 +67,11 @@ func F8ThreeWay(cfg Config) (F8Result, error) {
 	fmt.Fprintln(w, "F8: LogVis vs CircleVis reference (ASYNC, uniform)")
 	fmt.Fprintln(w, "N\tlogvis epochs\tcirclevis epochs\tlogvis dist\tcirclevis dist\tcirclevis reached")
 	for _, n := range ns {
-		ls, _, err := runBatch(logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		ls, _, err := runBatch(cfg.ctx(), logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
 		if err != nil {
 			return res, err
 		}
-		cs, _, err := runBatch(circleVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		cs, _, err := runBatch(cfg.ctx(), circleVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
 		if err != nil {
 			return res, err
 		}
@@ -109,7 +109,7 @@ func F9NonRigid(cfg Config) (F9Result, error) {
 	fmt.Fprintln(w, "F9: non-rigid motion stress (LogVis, ASYNC, uniform)")
 	fmt.Fprintln(w, "N\trigid epochs\tnon-rigid epochs\tslowdown\tnon-rigid reached")
 	for _, n := range ns {
-		rs, _, err := runBatch(logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		rs, _, err := runBatch(cfg.ctx(), logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
 		if err != nil {
 			return res, err
 		}
@@ -124,7 +124,7 @@ func F9NonRigid(cfg Config) (F9Result, error) {
 			if cfg.MaxEpochs > 0 {
 				opt.MaxEpochs = cfg.MaxEpochs
 			}
-			r, err := sim.Run(logVis(), pts, opt)
+			r, err := sim.RunCtx(cfg.ctx(), logVis(), pts, opt)
 			if err != nil {
 				return res, err
 			}

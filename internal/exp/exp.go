@@ -10,6 +10,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -35,6 +36,11 @@ type Config struct {
 	MaxEpochs int
 	// Out receives the printed table (nil = io.Discard).
 	Out io.Writer
+	// Ctx cancels the experiment (nil = context.Background()): every
+	// engine run launched by the harness aborts at its next epoch
+	// boundary once Ctx is done, and the experiment returns the
+	// cancellation error.
+	Ctx context.Context
 }
 
 func (c Config) out() io.Writer {
@@ -42,6 +48,13 @@ func (c Config) out() io.Writer {
 		return io.Discard
 	}
 	return c.Out
+}
+
+func (c Config) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 func (c Config) seeds(def, quick int) int {
@@ -72,8 +85,11 @@ type Cell struct {
 // cell — in parallel, one goroutine per seed, since runs are fully
 // independent (fresh algorithm value, fresh scheduler, seed-determined
 // randomness) — and aggregates them. Results are ordered by seed, so
-// aggregation is deterministic regardless of completion order.
-func runBatch(alg func() model.Algorithm, schedName string, fam config.Family, n, seeds, maxEpochs int) (metrics.RunStats, []sim.Result, error) {
+// aggregation is deterministic regardless of completion order. The
+// context is threaded into every per-seed run: once it is done, each
+// in-flight engine aborts at its next epoch boundary and runBatch
+// returns the cancellation error.
+func runBatch(ctx context.Context, alg func() model.Algorithm, schedName string, fam config.Family, n, seeds, maxEpochs int) (metrics.RunStats, []sim.Result, error) {
 	results := make([]sim.Result, seeds)
 	errs := make([]error, seeds)
 	var wg sync.WaitGroup
@@ -87,7 +103,7 @@ func runBatch(alg func() model.Algorithm, schedName string, fam config.Family, n
 			if maxEpochs > 0 {
 				opt.MaxEpochs = maxEpochs
 			}
-			res, err := sim.Run(alg(), pts, opt)
+			res, err := sim.RunCtx(ctx, alg(), pts, opt)
 			if err != nil {
 				errs[i] = fmt.Errorf("n=%d seed=%d: %w", n, seed, err)
 				return

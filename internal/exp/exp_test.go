@@ -2,6 +2,8 @@ package exp
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -210,5 +212,14 @@ func TestF9Quick(t *testing.T) {
 	}
 	if res.Reached != res.Runs {
 		t.Errorf("non-rigid runs reached %d/%d", res.Reached, res.Runs)
+	}
+}
+
+func TestExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Quick: true, Seeds: 2, Ctx: ctx}
+	if err := Run("T1", cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run(T1) with cancelled ctx = %v, want context.Canceled", err)
 	}
 }

@@ -33,7 +33,7 @@ func T1LogGrowth(cfg Config) (T1Result, error) {
 	fmt.Fprintln(w, "T1: LogVis epochs to Complete Visibility (ASYNC, uniform)")
 	fmt.Fprintln(w, "N\tepochs(mean)\tepochs(p95)\treached\tseeds")
 	for _, n := range ns {
-		st, _, err := runBatch(logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		st, _, err := runBatch(cfg.ctx(), logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
 		if err != nil {
 			return res, err
 		}
@@ -77,7 +77,7 @@ func T2Colors(cfg Config) (T2Result, error) {
 	fmt.Fprintln(w, "T2: distinct colors lit (LogVis, ASYNC, uniform)")
 	fmt.Fprintln(w, "N\tcolors(max over runs)\tdeclared palette")
 	for _, n := range ns {
-		st, _, err := runBatch(logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		st, _, err := runBatch(cfg.ctx(), logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
 		if err != nil {
 			return res, err
 		}
@@ -126,7 +126,7 @@ func T3Safety(cfg Config) (T3Result, error) {
 	for _, schedName := range []string{"fsync", "ssync", "async-random", "async-stale"} {
 		row := T3Row{Scheduler: schedName, MinPairDist: 1e18}
 		for _, n := range ns {
-			st, results, err := runBatch(logVis, schedName, config.Uniform, n, seeds, cfg.MaxEpochs)
+			st, results, err := runBatch(cfg.ctx(), logVis, schedName, config.Uniform, n, seeds, cfg.MaxEpochs)
 			if err != nil {
 				return res, err
 			}
@@ -182,7 +182,7 @@ func T4Correctness(cfg Config) (T4Result, error) {
 	fmt.Fprintln(w, "T4: correctness per initial-configuration family (LogVis, ASYNC)")
 	fmt.Fprintf(w, "family\truns\treached\tepochs(mean)\t(N=%d)\n", n)
 	for _, fam := range config.Families() {
-		st, _, err := runBatch(logVis, "async-random", fam, n, seeds, cfg.MaxEpochs)
+		st, _, err := runBatch(cfg.ctx(), logVis, "async-random", fam, n, seeds, cfg.MaxEpochs)
 		if err != nil {
 			return res, err
 		}
@@ -221,11 +221,11 @@ func F1VsBaseline(cfg Config) (F1Result, error) {
 	fmt.Fprintln(w, "F1: LogVis vs SeqVis baseline (ASYNC, uniform; mean epochs)")
 	fmt.Fprintln(w, "N\tlogvis\tseqvis\tratio")
 	for _, n := range ns {
-		ls, _, err := runBatch(logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		ls, _, err := runBatch(cfg.ctx(), logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
 		if err != nil {
 			return res, err
 		}
-		bs, _, err := runBatch(seqVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		bs, _, err := runBatch(cfg.ctx(), seqVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
 		if err != nil {
 			return res, err
 		}
@@ -273,7 +273,7 @@ func F2Schedulers(cfg Config) (F2Result, error) {
 	fmt.Fprintf(w, "F2: LogVis epochs per scheduler (uniform, N=%d)\n", n)
 	fmt.Fprintln(w, "scheduler\tepochs(mean)\tepochs(max)\treached")
 	for _, schedName := range []string{"fsync", "ssync", "async-random", "async-stale"} {
-		st, _, err := runBatch(logVis, schedName, config.Uniform, n, seeds, cfg.MaxEpochs)
+		st, _, err := runBatch(cfg.ctx(), logVis, schedName, config.Uniform, n, seeds, cfg.MaxEpochs)
 		if err != nil {
 			return res, err
 		}
@@ -359,7 +359,7 @@ func F4Workloads(cfg Config) (F4Result, error) {
 	fmt.Fprintf(w, "F4: LogVis epochs per workload family (ASYNC, N=%d)\n", n)
 	fmt.Fprintln(w, "family\tepochs(mean)\tdist/robot\treached")
 	for _, fam := range config.Families() {
-		st, _, err := runBatch(logVis, "async-random", fam, n, seeds, cfg.MaxEpochs)
+		st, _, err := runBatch(cfg.ctx(), logVis, "async-random", fam, n, seeds, cfg.MaxEpochs)
 		if err != nil {
 			return res, err
 		}
@@ -390,7 +390,7 @@ func F5Goroutines(cfg Config) (F5Result, error) {
 	fmt.Fprintln(w, "N\twall\tcycles\tepochs\treached")
 	for _, n := range ns {
 		pts := config.Generate(config.Uniform, n, 1)
-		r, err := rt.Run(logVis(), pts, rt.Options{
+		r, err := rt.RunCtx(cfg.ctx(), logVis(), pts, rt.Options{
 			Seed:      1,
 			MaxWall:   60 * time.Second,
 			MeanDelay: 100 * time.Microsecond,
@@ -429,11 +429,11 @@ func F6Movement(cfg Config) (F6Result, error) {
 	fmt.Fprintln(w, "F6: movement cost per robot (ASYNC, uniform)")
 	fmt.Fprintln(w, "N\tlogvis dist\tseqvis dist\tlogvis moves\tseqvis moves")
 	for _, n := range ns {
-		ls, _, err := runBatch(logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		ls, _, err := runBatch(cfg.ctx(), logVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
 		if err != nil {
 			return res, err
 		}
-		bs, _, err := runBatch(seqVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
+		bs, _, err := runBatch(cfg.ctx(), seqVis, "async-random", config.Uniform, n, seeds, cfg.MaxEpochs)
 		if err != nil {
 			return res, err
 		}

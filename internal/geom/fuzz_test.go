@@ -1,0 +1,136 @@
+package geom_test
+
+// Fuzz targets for the visibility and segment-intersection predicates.
+//
+// Inputs are decoded onto the int8 integer grid, where the float
+// predicates are provably exact: coordinates up to 255 in magnitude
+// make every nonzero cross product at least 1, far above Orient's
+// scaled tolerance (Eps·L1-scale ≈ 5e-7), so the fuzz oracle — exact
+// rational arithmetic and the O(n²) reference — must agree bit for
+// bit. Any divergence is a real bug, never a tolerance artifact.
+
+import (
+	"slices"
+	"testing"
+
+	"luxvis/internal/exact"
+	"luxvis/internal/geom"
+)
+
+// decodePoints reads consecutive (x, y) int8 pairs, capping the swarm
+// at 24 points to keep the O(n³) naive oracle cheap per input.
+func decodePoints(data []byte) []geom.Point {
+	n := len(data) / 2
+	if n > 24 {
+		n = 24
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(int8(data[2*i])), float64(int8(data[2*i+1])))
+	}
+	return pts
+}
+
+// FuzzVisibleAgainstNaive cross-checks three implementations of the
+// obstructed-visibility predicate on every fuzzed configuration: the
+// O(n log n) angular-sweep VisibleSetFast, the O(n²) reference
+// VisibleFrom, and the exact rational referee.
+func FuzzVisibleAgainstNaive(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 3, 0})             // collinear chain
+	f.Add([]byte{0, 0, 10, 0, 5, 0, 5, 5})            // blocker + witness
+	f.Add([]byte{0, 0, 0, 0, 1, 1})                   // coincident pair
+	f.Add([]byte{251, 0, 5, 0, 0, 0, 0, 5, 0, 251})   // spokes through origin (-5..5)
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 0, 1, 1, 1, 2, 1}) // 3x2 grid
+	f.Add([]byte{128, 128, 127, 127, 0, 0})           // extreme corners
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts := decodePoints(data)
+		if len(pts) < 2 {
+			return
+		}
+		ex := exact.FromFloats(pts)
+		for i := range pts {
+			fast := geom.VisibleSetFast(pts, i)
+			slices.Sort(fast)
+			ref := geom.VisibleFrom(pts, i)
+			if !slices.Equal(fast, ref) {
+				t.Fatalf("VisibleSetFast(%v, %d) = %v, reference VisibleFrom = %v",
+					pts, i, fast, ref)
+			}
+			for j := range pts {
+				got := geom.Visible(pts, i, j)
+				want := exact.Visible(ex, i, j)
+				if got != want {
+					t.Fatalf("Visible(%v, %d, %d) = %v, exact referee says %v",
+						pts, i, j, got, want)
+				}
+			}
+		}
+		fast := geom.CompleteVisibilityFast(pts)
+		if want := exact.CompleteVisibilityFloat(pts); fast != want {
+			t.Fatalf("CompleteVisibilityFast(%v) = %v, exact referee says %v",
+				pts, fast, want)
+		}
+	})
+}
+
+// decodeSegments reads 8 int8 values as two segments.
+func decodeSegments(data []byte) (geom.Segment, geom.Segment, bool) {
+	if len(data) < 8 {
+		return geom.Segment{}, geom.Segment{}, false
+	}
+	c := make([]float64, 8)
+	for i := range c {
+		c[i] = float64(int8(data[i]))
+	}
+	s := geom.Seg(geom.Pt(c[0], c[1]), geom.Pt(c[2], c[3]))
+	u := geom.Seg(geom.Pt(c[4], c[5]), geom.Pt(c[6], c[7]))
+	return s, u, true
+}
+
+// exactKind classifies the intersection of two int-grid segments with
+// rational arithmetic, mirroring Segment.Intersect's four-way verdict.
+func exactKind(s, u geom.Segment) geom.IntersectKind {
+	a1, b1 := exact.FromFloat(s.A), exact.FromFloat(s.B)
+	a2, b2 := exact.FromFloat(u.A), exact.FromFloat(u.B)
+	switch {
+	case exact.SegmentsProperlyCross(a1, b1, a2, b2):
+		return geom.ProperCrossing
+	case exact.SegmentsOverlap(a1, b1, a2, b2):
+		return geom.Overlapping
+	case exact.OnSegment(a1, b1, a2) || exact.OnSegment(a1, b1, b2) ||
+		exact.OnSegment(a2, b2, a1) || exact.OnSegment(a2, b2, b1):
+		return geom.Touching
+	default:
+		return geom.NoIntersection
+	}
+}
+
+// FuzzSegmentCross cross-checks the float segment-intersection
+// classifier against the exact rational one, plus two self-
+// consistency laws: symmetry in the operands and agreement of
+// ProperlyCrosses with the full classifier.
+func FuzzSegmentCross(f *testing.F) {
+	f.Add([]byte{0, 0, 10, 10, 0, 10, 10, 0})  // proper X crossing
+	f.Add([]byte{0, 0, 10, 0, 5, 0, 5, 10})    // T-touch at interior
+	f.Add([]byte{0, 0, 10, 0, 5, 0, 15, 0})    // collinear overlap
+	f.Add([]byte{0, 0, 10, 0, 10, 0, 20, 10})  // shared endpoint
+	f.Add([]byte{0, 0, 1, 1, 5, 5, 6, 6})      // collinear disjoint
+	f.Add([]byte{3, 3, 3, 3, 0, 0, 10, 10})    // degenerate on interior
+	f.Add([]byte{128, 128, 127, 127, 0, 0, 1, 255}) // extreme coordinates
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, u, ok := decodeSegments(data)
+		if !ok {
+			return
+		}
+		kind, _ := s.Intersect(u)
+		if want := exactKind(s, u); kind != want {
+			t.Fatalf("%v.Intersect(%v) = %v, exact referee says %v", s, u, kind, want)
+		}
+		if back, _ := u.Intersect(s); back != kind {
+			t.Fatalf("Intersect is asymmetric: %v vs %v for %v, %v", kind, back, s, u)
+		}
+		if got := s.ProperlyCrosses(u); got != (kind == geom.ProperCrossing) {
+			t.Fatalf("ProperlyCrosses(%v, %v) = %v, classifier says %v", s, u, got, kind)
+		}
+	})
+}

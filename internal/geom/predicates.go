@@ -93,6 +93,13 @@ func OnSegment(a, b, m Point) bool {
 		return false
 	}
 	d := b.Sub(a)
+	if abs(d.X) <= Eps && abs(d.Y) <= Eps {
+		// Degenerate segment: projection onto a dominant axis would
+		// ignore the other coordinate entirely, so [a, a] would
+		// "contain" any point sharing one coordinate with a. It
+		// contains only a itself.
+		return abs(m.X-a.X) <= Eps && abs(m.Y-a.Y) <= Eps
+	}
 	var ta, tb, tm float64
 	if math.Abs(d.X) >= math.Abs(d.Y) {
 		ta, tb, tm = a.X, b.X, m.X

@@ -12,6 +12,7 @@ package rt
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -76,6 +77,18 @@ type world struct {
 // Run executes algo from start with one goroutine per robot and returns
 // when the swarm stabilizes in Complete Visibility or MaxWall elapses.
 func Run(algo model.Algorithm, start []geom.Point, opt Options) (Result, error) {
+	return RunCtx(context.Background(), algo, start, opt)
+}
+
+// RunCtx is Run with caller cancellation layered under the MaxWall
+// clock: the run stops when the swarm stabilizes, MaxWall elapses, or
+// parent is done — whichever comes first. A parent-initiated stop
+// returns the partial result alongside parent's error; a nil parent
+// behaves like Run.
+func RunCtx(parent context.Context, algo model.Algorithm, start []geom.Point, opt Options) (Result, error) {
+	if parent == nil {
+		parent = context.Background()
+	}
 	if algo == nil {
 		return Result{}, errors.New("rt: nil algorithm")
 	}
@@ -104,7 +117,7 @@ func Run(algo model.Algorithm, start []geom.Point, opt Options) (Result, error) 
 		w.cleanLookSeq[i] = ^uint64(0) // never looked
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), opt.MaxWall)
+	ctx, cancel := context.WithTimeout(parent, opt.MaxWall)
 	defer cancel()
 
 	var wg sync.WaitGroup
@@ -132,6 +145,10 @@ func Run(algo model.Algorithm, start []geom.Point, opt Options) (Result, error) 
 	}
 	res.Cycles = total
 	w.mu.Unlock()
+	if err := parent.Err(); err != nil {
+		return res, fmt.Errorf("rt: run aborted after %d epochs (%d cycles): %w",
+			res.Epochs, res.Cycles, err)
+	}
 	return res, nil
 }
 

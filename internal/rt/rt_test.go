@@ -1,6 +1,8 @@
 package rt
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -88,5 +90,41 @@ func TestGoroutineAgreesWithEngine(t *testing.T) {
 	// must satisfy the goal predicate with the same swarm size.
 	if len(conc.Final) != len(eng.Final) {
 		t.Errorf("swarm size changed: %d vs %d", len(conc.Final), len(eng.Final))
+	}
+}
+
+func TestRunCtxHonorsCallerCancellation(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	cancel()
+	pts := config.Generate(config.Uniform, 8, 1)
+	start := time.Now()
+	_, err := RunCtx(parent, core.NewLogVis(), pts, Options{Seed: 1, MaxWall: time.Minute})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("RunCtx took %v to honor a pre-cancelled context", elapsed)
+	}
+}
+
+func TestRunCtxCallerDeadlineBeatsMaxWall(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	// A line configuration takes many cycles to resolve; MaxWall alone
+	// would let it run for a minute.
+	pts := config.Generate(config.Line, 24, 1)
+	start := time.Now()
+	_, err := RunCtx(parent, core.NewLogVis(), pts, Options{Seed: 1, MaxWall: time.Minute})
+	elapsed := time.Since(start)
+	if err == nil {
+		// The swarm may legitimately stabilize within 50ms on a fast
+		// machine; only a deadline error is asserted otherwise.
+		return
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunCtx error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("RunCtx took %v to honor a 50ms caller deadline", elapsed)
 	}
 }

@@ -23,6 +23,7 @@ package sched
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 )
 
 // Stage is a robot's position within its current Look-Compute-Move cycle.
@@ -428,24 +429,38 @@ func (a *AsyncRoundRobin) MoveSteps(*rand.Rand) int {
 
 // ---------------------------------------------------------------------
 
-// ByName returns a fresh scheduler by its table name. It panics on an
-// unknown name: experiment tables are compiled in, so an unknown name is
-// a programming error.
-func ByName(name string) Scheduler {
+// ByNameErr returns a fresh scheduler by its table name, or an error
+// naming every known scheduler for an unknown name. User-facing callers
+// (command-line flags, the HTTP service) should use this form so typos
+// surface as a clear message instead of a crash.
+func ByNameErr(name string) (Scheduler, error) {
 	switch name {
 	case "fsync":
-		return NewFSync()
+		return NewFSync(), nil
 	case "ssync":
-		return NewSSync(0.5)
+		return NewSSync(0.5), nil
 	case "async-random", "async":
-		return NewAsyncRandom()
+		return NewAsyncRandom(), nil
 	case "async-stale", "adversary":
-		return NewAsyncStale()
+		return NewAsyncStale(), nil
 	case "async-rr", "round-robin":
-		return NewAsyncRoundRobin()
+		return NewAsyncRoundRobin(), nil
 	default:
-		panic(fmt.Sprintf("sched: unknown scheduler %q", name))
+		return nil, fmt.Errorf("sched: unknown scheduler %q (known: %s)",
+			name, strings.Join(Names(), ", "))
 	}
+}
+
+// ByName returns a fresh scheduler by its table name. It panics on an
+// unknown name (with the known names in the message): experiment tables
+// are compiled in, so an unknown name there is a programming error.
+// Callers resolving user input should prefer ByNameErr.
+func ByName(name string) Scheduler {
+	s, err := ByNameErr(name)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
 }
 
 // Names lists the scheduler table names in canonical order.

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -315,4 +316,39 @@ func TestAsyncRoundRobinDeterministic(t *testing.T) {
 			t.Errorf("robot %d starved under round-robin", i)
 		}
 	}
+}
+
+func TestByNameErr(t *testing.T) {
+	for _, name := range Names() {
+		s, err := ByNameErr(name)
+		if err != nil || s == nil {
+			t.Fatalf("ByNameErr(%q) = %v, %v", name, s, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("ByNameErr(%q).Name() = %q", name, s.Name())
+		}
+	}
+	s, err := ByNameErr("bogus")
+	if err == nil || s != nil {
+		t.Fatalf("ByNameErr(bogus) = %v, %v; want nil, error", s, err)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("ByNameErr(bogus) error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestByNamePanicListsKnownNames(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("ByName(bogus) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "fsync") {
+			t.Fatalf("ByName(bogus) panic %v does not list known schedulers", r)
+		}
+	}()
+	ByName("bogus")
 }

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a fixed-capacity least-recently-used result cache keyed by the
+// canonical run-request string. Engine runs are fully determined by
+// (algorithm, scheduler, family, n, seed, options), so a hit can be
+// served without touching the worker pool at all.
+type lru struct {
+	mu sync.Mutex
+	// All fields below are guarded by mu.
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   int
+	misses int
+}
+
+type lruEntry struct {
+	key string
+	val *RunSummary
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached summary for key, if any, and records a
+// hit/miss either way.
+func (c *lru) get(key string) (*RunSummary, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts (or refreshes) key, evicting the least recently used
+// entry when over capacity.
+func (c *lru) put(key string, val *RunSummary) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// CacheStats is the cache section of /metrics.
+type CacheStats struct {
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+	Hits     int `json:"hits"`
+	Misses   int `json:"misses"`
+}
+
+func (c *lru) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Size: c.ll.Len(), Capacity: c.cap, Hits: c.hits, Misses: c.misses}
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"sync"
+
+	"luxvis/internal/stats"
+)
+
+// latWindow is the number of most-recent latency samples retained per
+// endpoint; the histogram in /metrics summarizes this sliding window.
+const latWindow = 4096
+
+// latRing is a fixed-capacity ring of latency samples (milliseconds).
+type latRing struct {
+	buf   []float64
+	next  int
+	count int // total observations ever, not just retained
+}
+
+func (r *latRing) add(ms float64) {
+	if len(r.buf) < latWindow {
+		r.buf = append(r.buf, ms)
+	} else {
+		r.buf[r.next] = ms
+		r.next = (r.next + 1) % latWindow
+	}
+	r.count++
+}
+
+// LatencySummary is the per-endpoint latency histogram reported by
+// /metrics, computed from the retained sample window with
+// internal/stats order statistics.
+type LatencySummary struct {
+	// Count is the total number of observations since startup (the
+	// quantiles cover the most recent latWindow of them).
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P90Ms  float64 `json:"p90Ms"`
+	P95Ms  float64 `json:"p95Ms"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+// serverMetrics is the mutex-guarded counter state behind /metrics.
+type serverMetrics struct {
+	mu sync.Mutex
+	// All fields below are guarded by mu.
+	accepted  int
+	completed int
+	rejected  int
+	timeouts  int
+	failed    int
+	busy      int
+	latencies map[string]*latRing
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{latencies: make(map[string]*latRing)}
+}
+
+func (m *serverMetrics) jobAccepted() {
+	m.mu.Lock()
+	m.accepted++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) jobCompleted() {
+	m.mu.Lock()
+	m.completed++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) jobRejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) jobTimedOut() {
+	m.mu.Lock()
+	m.timeouts++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) jobFailed() {
+	m.mu.Lock()
+	m.failed++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) workerBusy(delta int) {
+	m.mu.Lock()
+	m.busy += delta
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) busyWorkers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.busy
+}
+
+// observe records one endpoint latency in milliseconds.
+func (m *serverMetrics) observe(endpoint string, ms float64) {
+	m.mu.Lock()
+	r := m.latencies[endpoint]
+	if r == nil {
+		r = &latRing{}
+		m.latencies[endpoint] = r
+	}
+	r.add(ms)
+	m.mu.Unlock()
+}
+
+// JobCounters is the job-lifecycle section of /metrics.
+type JobCounters struct {
+	Accepted  int `json:"accepted"`
+	Completed int `json:"completed"`
+	Rejected  int `json:"rejected"`
+	Timeouts  int `json:"timeouts"`
+	Failed    int `json:"failed"`
+}
+
+// snapshot returns the counters and per-endpoint latency summaries.
+func (m *serverMetrics) snapshot() (JobCounters, int, map[string]LatencySummary) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	jc := JobCounters{
+		Accepted:  m.accepted,
+		Completed: m.completed,
+		Rejected:  m.rejected,
+		Timeouts:  m.timeouts,
+		Failed:    m.failed,
+	}
+	lat := make(map[string]LatencySummary, len(m.latencies))
+	for ep, r := range m.latencies {
+		if len(r.buf) == 0 {
+			continue
+		}
+		s := stats.Summarize(r.buf)
+		lat[ep] = LatencySummary{
+			Count:  r.count,
+			MeanMs: s.Mean,
+			P50Ms:  s.Median,
+			P90Ms:  s.P90,
+			P95Ms:  s.P95,
+			MaxMs:  s.Max,
+		}
+	}
+	return jc, m.busy, lat
+}

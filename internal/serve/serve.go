@@ -1,0 +1,645 @@
+// Package serve exposes the simulator as a concurrent HTTP JSON
+// service: run requests are executed on a bounded worker pool behind a
+// bounded queue (load beyond the queue is shed with 429), every job
+// carries a deadline that the engine honors at epoch boundaries, and
+// completed runs land in a seed-keyed LRU cache so repeated identical
+// requests never re-simulate.
+//
+// Endpoints:
+//
+//	GET/POST /v1/run         run one scenario, JSON summary
+//	POST     /v1/experiment  run one experiment table, text output
+//	GET      /healthz        liveness
+//	GET      /metrics        queue/worker/cache/latency snapshot
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"luxvis/internal/baseline"
+	"luxvis/internal/circlevis"
+	"luxvis/internal/config"
+	"luxvis/internal/core"
+	"luxvis/internal/exp"
+	"luxvis/internal/model"
+	"luxvis/internal/sched"
+	"luxvis/internal/sim"
+)
+
+// Options configures a Server. The zero value is usable: every field
+// has a default.
+type Options struct {
+	// Workers is the number of concurrent simulation workers
+	// (default runtime.NumCPU()).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker;
+	// submissions beyond it are shed with 429 (default 64).
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries
+	// (default 512).
+	CacheSize int
+	// DefaultTimeout caps a job's run time when the request does not
+	// set timeoutMs (default 2 minutes).
+	DefaultTimeout time.Duration
+	// MaxN rejects run requests above this swarm size (default 16384).
+	MaxN int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 512
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 2 * time.Minute
+	}
+	if o.MaxN <= 0 {
+		o.MaxN = 16384
+	}
+	return o
+}
+
+// Server runs simulations over a bounded worker pool and serves them
+// over HTTP. Create with New, mount Handler, stop with Close.
+type Server struct {
+	opt     Options
+	queue   chan *job
+	wg      sync.WaitGroup
+	cache   *lru
+	metrics *serverMetrics
+
+	mu sync.Mutex
+	// closed is guarded by mu: submissions and Close race on the queue
+	// channel, and a send on a closed channel panics, so both sides
+	// agree under the lock before touching it.
+	closed bool
+}
+
+// job is one queued simulation request. The worker fills res/err and
+// then closes done; the close is the happens-before edge that makes
+// the fields safe to read on the handler side.
+type job struct {
+	ctx    context.Context
+	run    func(context.Context) (*RunSummary, error)
+	key    string // cache key; "" disables caching (experiments)
+	res    *RunSummary
+	err    error
+	done   chan struct{}
+	server *Server
+}
+
+// New starts a Server with opt.Workers workers already running.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:     opt,
+		queue:   make(chan *job, opt.QueueDepth),
+		cache:   newLRU(opt.CacheSize),
+		metrics: newServerMetrics(),
+	}
+	s.wg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		// A job whose deadline already passed while queued is dead on
+		// arrival: don't burn a worker on it.
+		if err := j.ctx.Err(); err != nil {
+			j.err = err
+			close(j.done)
+			continue
+		}
+		s.metrics.workerBusy(+1)
+		j.res, j.err = j.run(j.ctx)
+		if j.err == nil && j.key != "" {
+			// Cache even when the waiting handler has already given
+			// up: the next identical request then hits.
+			s.cache.put(j.key, j.res)
+		}
+		s.metrics.workerBusy(-1)
+		close(j.done)
+	}
+}
+
+var (
+	errClosed = errors.New("serve: server is shutting down")
+	errFull   = errors.New("serve: job queue is full")
+)
+
+// submit enqueues j without blocking: a full queue is load to shed, not
+// to absorb.
+func (s *Server) submit(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return errFull
+	}
+}
+
+// Close stops accepting jobs and drains the in-flight ones; it returns
+// early (with ctx.Err) if ctx expires first, leaving workers to finish
+// in the background.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Handler returns the HTTP handler for all endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/run", s.timed("/v1/run", s.handleRun))
+	mux.HandleFunc("/v1/experiment", s.timed("/v1/experiment", s.handleExperiment))
+	return mux
+}
+
+// timed wraps a handler with the per-endpoint latency histogram.
+func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.metrics.observe(endpoint, float64(time.Since(start).Microseconds())/1000)
+	}
+}
+
+// RunRequest is the /v1/run request body (POST) or query-parameter set
+// (GET). Zero/absent fields take the documented defaults.
+type RunRequest struct {
+	Algorithm string `json:"algorithm"` // logvis (default) | seqvis | circlevis
+	Scheduler string `json:"scheduler"` // sched.Names(); default async-random
+	Family    string `json:"family"`    // config.Families(); default uniform
+	N         int    `json:"n"`         // default 32
+	Seed      int64  `json:"seed"`      // default 1
+	NonRigid  bool   `json:"nonRigid"`
+	MaxEpochs int    `json:"maxEpochs"` // default engine default (4096)
+	// SkipChecks disables per-step safety verification — the engine's
+	// raw-throughput mode for large N.
+	SkipChecks bool `json:"skipChecks"`
+	// TimeoutMs caps this run's wall time (default Options.DefaultTimeout).
+	// On expiry the engine aborts at the next epoch boundary and the
+	// request fails with 504.
+	TimeoutMs int `json:"timeoutMs"`
+}
+
+// RunSummary is the /v1/run response.
+type RunSummary struct {
+	Algorithm     string  `json:"algorithm"`
+	Scheduler     string  `json:"scheduler"`
+	Family        string  `json:"family"`
+	N             int     `json:"n"`
+	Seed          int64   `json:"seed"`
+	NonRigid      bool    `json:"nonRigid"`
+	Reached       bool    `json:"reached"`
+	Epochs        int     `json:"epochs"`
+	FirstCVEpoch  int     `json:"firstCVEpoch"`
+	Events        int     `json:"events"`
+	Cycles        int     `json:"cycles"`
+	Moves         int     `json:"moves"`
+	TotalDist     float64 `json:"totalDist"`
+	ColorsUsed    int     `json:"colorsUsed"`
+	Collisions    int     `json:"collisions"`
+	PathCrossings int     `json:"pathCrossings"`
+	MinPairDist   float64 `json:"minPairDist"`
+	// Cached reports whether this response was served from the LRU
+	// cache without re-running the engine.
+	Cached bool `json:"cached"`
+}
+
+// errorJSON is the error response body for every non-2xx status.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// MetricsSnapshot is the /metrics response.
+type MetricsSnapshot struct {
+	Jobs    JobCounters `json:"jobs"`
+	Queue   QueueStats  `json:"queue"`
+	Workers WorkerStats `json:"workers"`
+	Cache   CacheStats  `json:"cache"`
+	// LatencyMs maps endpoint path to its latency histogram.
+	LatencyMs map[string]LatencySummary `json:"latencyMs"`
+}
+
+// QueueStats reports the job queue's occupancy.
+type QueueStats struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+}
+
+// WorkerStats reports pool utilization.
+type WorkerStats struct {
+	Total int `json:"total"`
+	Busy  int `json:"busy"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	jobs, busy, lat := s.metrics.snapshot()
+	writeJSON(w, http.StatusOK, MetricsSnapshot{
+		Jobs:      jobs,
+		Queue:     QueueStats{Depth: len(s.queue), Capacity: cap(s.queue)},
+		Workers:   WorkerStats{Total: s.opt.Workers, Busy: busy},
+		Cache:     s.cache.stats(),
+		LatencyMs: lat,
+	})
+}
+
+// parseRunRequest decodes a RunRequest from a POST JSON body or GET
+// query parameters and fills defaults.
+func parseRunRequest(r *http.Request) (RunRequest, error) {
+	req := RunRequest{Algorithm: "logvis", Scheduler: "async-random", Family: "uniform", N: 32, Seed: 1}
+	switch r.Method {
+	case http.MethodPost:
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return req, fmt.Errorf("bad JSON body: %w", err)
+		}
+		if req.Algorithm == "" {
+			req.Algorithm = "logvis"
+		}
+		if req.Scheduler == "" {
+			req.Scheduler = "async-random"
+		}
+		if req.Family == "" {
+			req.Family = "uniform"
+		}
+		if req.N == 0 {
+			req.N = 32
+		}
+	case http.MethodGet:
+		q := r.URL.Query()
+		if v := q.Get("algorithm"); v != "" {
+			req.Algorithm = v
+		}
+		if v := q.Get("scheduler"); v != "" {
+			req.Scheduler = v
+		}
+		if v := q.Get("family"); v != "" {
+			req.Family = v
+		}
+		for _, f := range []struct {
+			name string
+			dst  *int
+		}{{"n", &req.N}, {"maxEpochs", &req.MaxEpochs}, {"timeoutMs", &req.TimeoutMs}} {
+			if v := q.Get(f.name); v != "" {
+				x, err := strconv.Atoi(v)
+				if err != nil {
+					return req, fmt.Errorf("bad %s=%q: %w", f.name, v, err)
+				}
+				*f.dst = x
+			}
+		}
+		if v := q.Get("seed"); v != "" {
+			x, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return req, fmt.Errorf("bad seed=%q: %w", v, err)
+			}
+			req.Seed = x
+		}
+		for _, f := range []struct {
+			name string
+			dst  *bool
+		}{{"nonRigid", &req.NonRigid}, {"skipChecks", &req.SkipChecks}} {
+			if v := q.Get(f.name); v != "" {
+				x, err := strconv.ParseBool(v)
+				if err != nil {
+					return req, fmt.Errorf("bad %s=%q: %w", f.name, v, err)
+				}
+				*f.dst = x
+			}
+		}
+	default:
+		return req, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	return req, nil
+}
+
+// algorithmByName maps the wire name to a fresh algorithm instance.
+func algorithmByName(name string) (model.Algorithm, error) {
+	switch name {
+	case "logvis":
+		return core.NewLogVis(), nil
+	case "seqvis":
+		return baseline.NewSeqVis(), nil
+	case "circlevis":
+		return circlevis.NewCircleVis(), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (known: logvis, seqvis, circlevis)", name)
+	}
+}
+
+// validate checks req against the server limits and resolves every
+// name, returning the pieces needed to run it.
+func (s *Server) validate(req RunRequest) (model.Algorithm, sched.Scheduler, config.Family, error) {
+	algo, err := algorithmByName(req.Algorithm)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	scheduler, err := sched.ByNameErr(req.Scheduler)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	fam := config.Family(req.Family)
+	known := false
+	for _, f := range config.Families() {
+		if fam == f {
+			known = true
+			break
+		}
+	}
+	if !known {
+		names := make([]string, len(config.Families()))
+		for i, f := range config.Families() {
+			names[i] = string(f)
+		}
+		return nil, nil, "", fmt.Errorf("unknown family %q (known: %s)", req.Family, strings.Join(names, ", "))
+	}
+	if req.N < 1 || req.N > s.opt.MaxN {
+		return nil, nil, "", fmt.Errorf("n=%d out of range [1, %d]", req.N, s.opt.MaxN)
+	}
+	if req.MaxEpochs < 0 {
+		return nil, nil, "", fmt.Errorf("maxEpochs=%d must be >= 0", req.MaxEpochs)
+	}
+	if req.TimeoutMs < 0 {
+		return nil, nil, "", fmt.Errorf("timeoutMs=%d must be >= 0", req.TimeoutMs)
+	}
+	return algo, scheduler, fam, nil
+}
+
+// cacheKey is the canonical identity of a run. Everything that can
+// change the Result is in here; the timeout is not (it changes whether
+// a run finishes, not what a finished run computes).
+func (req RunRequest) cacheKey() string {
+	return fmt.Sprintf("%s|%s|%s|n=%d|seed=%d|nonRigid=%t|maxEpochs=%d|skipChecks=%t",
+		req.Algorithm, req.Scheduler, req.Family, req.N, req.Seed,
+		req.NonRigid, req.MaxEpochs, req.SkipChecks)
+}
+
+func (s *Server) timeoutFor(ms int) time.Duration {
+	if ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	return s.opt.DefaultTimeout
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	req, err := parseRunRequest(r)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "not allowed") {
+			status = http.StatusMethodNotAllowed
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	algo, scheduler, fam, err := s.validate(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	key := req.cacheKey()
+	if cached, ok := s.cache.get(key); ok {
+		out := *cached
+		out.Cached = true
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMs))
+	defer cancel()
+
+	j := &job{
+		ctx:    ctx,
+		key:    key,
+		done:   make(chan struct{}),
+		server: s,
+		run: func(ctx context.Context) (*RunSummary, error) {
+			pts := config.Generate(fam, req.N, req.Seed)
+			opt := sim.DefaultOptions(scheduler, req.Seed)
+			if req.MaxEpochs > 0 {
+				opt.MaxEpochs = req.MaxEpochs
+			}
+			opt.NonRigid = req.NonRigid
+			opt.SkipSafetyChecks = req.SkipChecks
+			res, err := sim.RunCtx(ctx, algo, pts, opt)
+			if err != nil {
+				return nil, err
+			}
+			return &RunSummary{
+				Algorithm:     res.Algorithm,
+				Scheduler:     res.Scheduler,
+				Family:        string(fam),
+				N:             res.N,
+				Seed:          res.Seed,
+				NonRigid:      req.NonRigid,
+				Reached:       res.Reached,
+				Epochs:        res.Epochs,
+				FirstCVEpoch:  res.FirstCVEpoch,
+				Events:        res.Events,
+				Cycles:        res.Cycles,
+				Moves:         res.Moves,
+				TotalDist:     res.TotalDist,
+				ColorsUsed:    res.ColorsUsed,
+				Collisions:    res.Collisions,
+				PathCrossings: res.PathCrossings,
+				MinPairDist:   res.MinPairDist,
+			}, nil
+		},
+	}
+	s.dispatch(w, j)
+}
+
+// ExperimentRequest is the /v1/experiment request body.
+type ExperimentRequest struct {
+	Name      string `json:"name"` // exp.Names()
+	Quick     bool   `json:"quick"`
+	Seeds     int    `json:"seeds"`
+	MaxEpochs int    `json:"maxEpochs"`
+	TimeoutMs int    `json:"timeoutMs"`
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req ExperimentRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	known := false
+	for _, name := range exp.Names() {
+		if req.Name == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		writeError(w, http.StatusBadRequest, "unknown experiment %q (known: %s)",
+			req.Name, strings.Join(exp.Names(), ", "))
+		return
+	}
+	if req.Seeds < 0 || req.MaxEpochs < 0 || req.TimeoutMs < 0 {
+		writeError(w, http.StatusBadRequest, "seeds, maxEpochs and timeoutMs must be >= 0")
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMs))
+	defer cancel()
+
+	var out strings.Builder
+	var outMu sync.Mutex // handler may time out while the worker still writes
+	j := &job{
+		ctx:  ctx,
+		done: make(chan struct{}),
+		run: func(ctx context.Context) (*RunSummary, error) {
+			outMu.Lock()
+			defer outMu.Unlock()
+			cfg := exp.Config{
+				Quick:     req.Quick,
+				Seeds:     req.Seeds,
+				MaxEpochs: req.MaxEpochs,
+				Out:       &out,
+				Ctx:       ctx,
+			}
+			return nil, exp.Run(req.Name, cfg)
+		},
+	}
+	if err := s.submitTracked(j); err != nil {
+		s.rejectJob(w, err)
+		return
+	}
+	select {
+	case <-j.done:
+		if j.err != nil {
+			s.failJob(w, j.err)
+			return
+		}
+		s.metrics.jobCompleted()
+		outMu.Lock()
+		text := out.String()
+		outMu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = fmt.Fprint(w, text)
+	case <-ctx.Done():
+		s.metrics.jobTimedOut()
+		writeError(w, http.StatusGatewayTimeout,
+			"experiment aborted: %v (runs stop at their next epoch boundary)", ctx.Err())
+	}
+}
+
+// submitTracked submits with accepted/rejected accounting.
+func (s *Server) submitTracked(j *job) error {
+	if err := s.submit(j); err != nil {
+		s.metrics.jobRejected()
+		return err
+	}
+	s.metrics.jobAccepted()
+	return nil
+}
+
+func (s *Server) rejectJob(w http.ResponseWriter, err error) {
+	if errors.Is(err, errFull) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "%v", err)
+}
+
+func (s *Server) failJob(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.metrics.jobTimedOut()
+		writeError(w, http.StatusGatewayTimeout, "%v", err)
+		return
+	}
+	s.metrics.jobFailed()
+	writeError(w, http.StatusInternalServerError, "%v", err)
+}
+
+// dispatch runs the common submit/await/respond path for run jobs.
+func (s *Server) dispatch(w http.ResponseWriter, j *job) {
+	if err := s.submitTracked(j); err != nil {
+		s.rejectJob(w, err)
+		return
+	}
+	select {
+	case <-j.done:
+		if j.err != nil {
+			s.failJob(w, j.err)
+			return
+		}
+		s.metrics.jobCompleted()
+		writeJSON(w, http.StatusOK, *j.res)
+	case <-j.ctx.Done():
+		// The handler answers promptly; the worker (if it picked the
+		// job up) aborts at its next epoch boundary and the accounting
+		// for its slot resolves then.
+		s.metrics.jobTimedOut()
+		writeError(w, http.StatusGatewayTimeout,
+			"run aborted: %v (engine stops at the next epoch boundary)", j.ctx.Err())
+	}
+}

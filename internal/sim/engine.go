@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -184,6 +185,11 @@ type engine struct {
 	opt  Options
 	rng  *rand.Rand
 
+	// ctx is polled at epoch boundaries only (see loop); ctxErr records
+	// the cancellation cause when the run was aborted early.
+	ctx    context.Context
+	ctxErr error
+
 	pos  []geom.Point
 	col  []model.Color
 	st   []sched.Status
@@ -236,6 +242,27 @@ type engine struct {
 // safety violations during the run do not error — they are counted and
 // reported in the Result, because counting them is the experiment.
 func Run(algo model.Algorithm, start []geom.Point, opt Options) (Result, error) {
+	return RunCtx(context.Background(), algo, start, opt)
+}
+
+// RunCtx is Run with caller-controlled cancellation: when ctx is
+// cancelled or its deadline passes, the run aborts at the next epoch
+// boundary and RunCtx returns the partial Result accumulated so far
+// together with an error wrapping ctx.Err() (test with errors.Is
+// against context.Canceled / context.DeadlineExceeded).
+//
+// Cancellation is observed only at epoch boundaries, never mid-epoch:
+// an epoch is the engine's unit of algorithmic progress (every robot
+// completed at least one full LCM cycle), so aborting there leaves the
+// Result's epoch-granular metrics (Epochs, FirstCVEpoch, EpochSamples)
+// internally consistent and keeps the partial run a faithful prefix of
+// the deterministic seed-keyed execution — rerunning the same
+// (algorithm, start, Options) without a deadline replays the identical
+// prefix event for event.
+func RunCtx(ctx context.Context, algo model.Algorithm, start []geom.Point, opt Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if algo == nil {
 		return Result{}, errors.New("sim: nil algorithm")
 	}
@@ -268,6 +295,7 @@ func Run(algo model.Algorithm, start []geom.Point, opt Options) (Result, error) 
 
 	e := &engine{
 		algo:          algo,
+		ctx:           ctx,
 		opt:           opt,
 		rng:           rand.New(rand.NewSource(opt.Seed)),
 		pos:           append([]geom.Point(nil), start...),
@@ -306,13 +334,24 @@ func Run(algo model.Algorithm, start []geom.Point, opt Options) (Result, error) 
 		e.idx = grid.NewFor(e.pos)
 	}
 
-	e.loop()
+	// A context that is already dead aborts before the first event (the
+	// first epoch of a large swarm is itself expensive).
+	if err := ctx.Err(); err != nil {
+		e.ctxErr = err
+	} else {
+		e.loop()
+	}
 	e.finish()
+	if e.ctxErr != nil {
+		return e.res, fmt.Errorf("sim: run aborted after %d epochs (%d events): %w",
+			e.res.Epochs, e.res.Events, e.ctxErr)
+	}
 	return e.res, nil
 }
 
 // loop is the main event loop.
 func (e *engine) loop() {
+	checkedEpoch := 0
 	for e.now < e.opt.MaxEvents && e.epochs < e.opt.MaxEpochs {
 		if e.quiescent() {
 			e.res.Reached = true
@@ -326,6 +365,15 @@ func (e *engine) loop() {
 		e.now++
 		e.st[r].LastEvent = e.now
 		e.accountEpoch()
+		// Poll for cancellation exactly once per completed epoch — the
+		// engine's safe abort points (see RunCtx).
+		if e.epochs != checkedEpoch {
+			checkedEpoch = e.epochs
+			if err := e.ctx.Err(); err != nil {
+				e.ctxErr = err
+				return
+			}
+		}
 	}
 }
 

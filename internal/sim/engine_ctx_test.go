@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"luxvis/internal/geom"
+	"luxvis/internal/model"
+	"luxvis/internal/sched"
+)
+
+// pingpongAlgo oscillates forever between x=0 and x=1 on its own row —
+// a run that never quiesces, for exercising cancellation: without a
+// deadline it only stops at MaxEpochs.
+type pingpongAlgo struct{}
+
+func (pingpongAlgo) Name() string           { return "pingpong" }
+func (pingpongAlgo) Palette() []model.Color { return []model.Color{model.Off} }
+func (pingpongAlgo) Compute(s model.Snapshot) model.Action {
+	if s.Self.Pos.X < 0.5 {
+		return model.Action{Target: geom.Pt(1, s.Self.Pos.Y), Color: model.Off}
+	}
+	return model.Action{Target: geom.Pt(0, s.Self.Pos.Y), Color: model.Off}
+}
+
+// rows places n robots on distinct horizontal rows so pingpong motion
+// never intersects.
+func rows(n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(0, float64(3*i))
+	}
+	return pts
+}
+
+func TestRunCtxDeadlineAbortsAtEpochBoundary(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+
+	opt := DefaultOptions(sched.NewAsyncRandom(), 1)
+	opt.MaxEpochs = 1_000_000
+	opt.MaxEvents = 1 << 40
+	opt.SampleEpochs = true
+
+	start := time.Now()
+	res, err := RunCtx(ctx, pingpongAlgo{}, rows(64), opt)
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunCtx error = %v, want context.DeadlineExceeded", err)
+	}
+	if res.Epochs >= opt.MaxEpochs {
+		t.Fatalf("run consumed all %d epochs; cancellation never observed", opt.MaxEpochs)
+	}
+	// The abort must be prompt — at an epoch boundary shortly after the
+	// deadline, not after the (effectively unbounded) epoch cap. The
+	// bound is generous to stay robust under -race and loaded CI.
+	if elapsed > 30*time.Second {
+		t.Fatalf("RunCtx took %v to honor a 30ms deadline", elapsed)
+	}
+	// Epoch-granular metrics stay internally consistent on abort: one
+	// sample per completed epoch, no partial epoch recorded.
+	if len(res.EpochSamples) != res.Epochs {
+		t.Fatalf("aborted run has %d epoch samples for %d epochs", len(res.EpochSamples), res.Epochs)
+	}
+}
+
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	opt := DefaultOptions(sched.NewAsyncRandom(), 1)
+	res, err := RunCtx(ctx, pingpongAlgo{}, rows(8), opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx error = %v, want context.Canceled", err)
+	}
+	if res.Events != 0 {
+		t.Fatalf("pre-cancelled run executed %d events, want 0", res.Events)
+	}
+}
+
+func TestRunCtxNilContextMatchesRun(t *testing.T) {
+	mkOpt := func() Options {
+		opt := DefaultOptions(sched.NewAsyncRoundRobin(), 3)
+		opt.MaxEpochs = 8
+		return opt
+	}
+	a, err := RunCtx(nil, pingpongAlgo{}, rows(4), mkOpt())
+	if err != nil {
+		t.Fatalf("RunCtx(nil): %v", err)
+	}
+	b, err := Run(pingpongAlgo{}, rows(4), mkOpt())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Events != b.Events || a.Epochs != b.Epochs || a.Moves != b.Moves {
+		t.Fatalf("RunCtx(nil) diverged from Run: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,68 @@
+package trace_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"luxvis/internal/config"
+	"luxvis/internal/core"
+	"luxvis/internal/sched"
+	"luxvis/internal/sim"
+	"luxvis/internal/trace"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite the golden trace from the current engine output")
+
+// TestGoldenTrace pins the engine's full event stream for one canonical
+// run (LogVis, async-random, uniform N=32, seed=7) byte for byte. Any
+// change to scheduler order, engine event sequencing, movement
+// geometry, color transitions or the JSONL encoding shows up here as a
+// diff — deliberate changes re-bless with -update-golden.
+func TestGoldenTrace(t *testing.T) {
+	pts := config.Generate(config.Uniform, 32, 7)
+	opt := sim.DefaultOptions(sched.NewAsyncRandom(), 7)
+	opt.RecordTrace = true
+	res, err := sim.Run(core.NewLogVis(), pts, opt)
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, res); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "logvis_async-random_n32_seed7.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden trace (regenerate with -update-golden): %v", err)
+	}
+	if bytes.Equal(buf.Bytes(), want) {
+		return
+	}
+	// Locate the first divergent line for a readable failure.
+	gotLines := bytes.Split(buf.Bytes(), []byte("\n"))
+	wantLines := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if !bytes.Equal(gotLines[i], wantLines[i]) {
+			t.Fatalf("trace diverges from golden at line %d:\n got: %s\nwant: %s",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("trace length changed: got %d lines, golden has %d",
+		len(gotLines), len(wantLines))
+}

@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"luxvis/internal/baseline"
+	"luxvis/internal/circlevis"
+	"luxvis/internal/config"
+	"luxvis/internal/core"
+	"luxvis/internal/exact"
+	"luxvis/internal/model"
+	"luxvis/internal/sched"
+	"luxvis/internal/sim"
+)
+
+// TestDifferentialSweep draws random cells from the full
+// (algorithm × scheduler × family × N × seed × rigidity) space and
+// requires the independent trace auditor to reach the engine's exact
+// verdict on every one: same collision count, same path-crossing
+// count, same palette-violation count, and the same final Complete
+// Visibility predicate (re-decided with exact rational arithmetic).
+// The draw is seeded, so a failing cell reproduces deterministically.
+func TestDifferentialSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50-run differential sweep in -short mode")
+	}
+	algos := []struct {
+		name string
+		mk   func() model.Algorithm
+	}{
+		{"logvis", func() model.Algorithm { return core.NewLogVis() }},
+		{"seqvis", func() model.Algorithm { return baseline.NewSeqVis() }},
+		{"circlevis", func() model.Algorithm { return circlevis.NewCircleVis() }},
+	}
+	schedulers := sched.Names()
+	families := config.Families()
+
+	rng := rand.New(rand.NewSource(20260806))
+	const draws = 50
+	for d := 0; d < draws; d++ {
+		a := algos[rng.Intn(len(algos))]
+		schedName := schedulers[rng.Intn(len(schedulers))]
+		fam := families[rng.Intn(len(families))]
+		n := 8 + rng.Intn(33) // 8..40
+		seed := int64(1 + rng.Intn(1000))
+		nonRigid := d%2 == 1
+
+		algo := a.mk()
+		pts := config.Generate(fam, n, seed)
+		opt := sim.DefaultOptions(sched.ByName(schedName), seed)
+		opt.MaxEpochs = 256
+		opt.NonRigid = nonRigid
+		opt.RecordTrace = true
+
+		res, err := sim.Run(algo, pts, opt)
+		if err != nil {
+			t.Fatalf("draw %d: sim.Run: %v", d, err)
+		}
+		rep, err := Audit(pts, algo.Palette(), res)
+		if err != nil {
+			t.Fatalf("draw %d: Audit: %v", d, err)
+		}
+
+		label := func() string {
+			return a.name + "/" + schedName + "/" + string(fam)
+		}
+		if got, want := rep.Colocations+rep.PassThroughs, res.Collisions; got != want {
+			t.Errorf("draw %d (%s n=%d seed=%d nonRigid=%v): auditor collisions %d, engine %d\n%v",
+				d, label(), n, seed, nonRigid, got, want, rep.Problems)
+		}
+		if got, want := rep.PathCrossings, res.PathCrossings; got != want {
+			t.Errorf("draw %d (%s n=%d seed=%d nonRigid=%v): auditor crossings %d, engine %d\n%v",
+				d, label(), n, seed, nonRigid, got, want, rep.Problems)
+		}
+		enginePalette := 0
+		for _, v := range res.Violations {
+			if v.Kind == sim.VPalette {
+				enginePalette++
+			}
+		}
+		if got, want := rep.PaletteViolations, enginePalette; got != want {
+			t.Errorf("draw %d (%s n=%d seed=%d): auditor palette violations %d, engine %d",
+				d, label(), n, seed, got, want)
+		}
+		if got, want := rep.FinalCV, exact.CompleteVisibilityHybrid(res.Final); got != want {
+			t.Errorf("draw %d (%s n=%d seed=%d): auditor FinalCV=%v, exact referee on engine final says %v",
+				d, label(), n, seed, got, want)
+		}
+		if res.Reached && !rep.FinalCV {
+			t.Errorf("draw %d (%s n=%d seed=%d): engine reached CV but auditor's exact check fails",
+				d, label(), n, seed)
+		}
+	}
+}

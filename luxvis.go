@@ -36,6 +36,8 @@
 package luxvis
 
 import (
+	"context"
+
 	"luxvis/internal/baseline"
 	"luxvis/internal/circlevis"
 	"luxvis/internal/config"
@@ -147,8 +149,12 @@ func NewAsyncRoundRobin() Scheduler { return sched.NewAsyncRoundRobin() }
 
 // SchedulerByName resolves a scheduler by its table name ("fsync",
 // "ssync", "async-random", "async-stale", "async-rr"). It panics on
-// unknown names.
+// unknown names; prefer SchedulerByNameErr for user-supplied input.
 func SchedulerByName(name string) Scheduler { return sched.ByName(name) }
+
+// SchedulerByNameErr resolves a scheduler by its table name, returning
+// an error that lists the known names on a miss.
+func SchedulerByNameErr(name string) (Scheduler, error) { return sched.ByNameErr(name) }
 
 // SchedulerNames lists the scheduler names in canonical order.
 func SchedulerNames() []string { return sched.Names() }
@@ -172,6 +178,13 @@ func Run(algo Algorithm, start []Point, opt Options) (Result, error) {
 	return sim.Run(algo, start, opt)
 }
 
+// RunCtx is Run with caller cancellation: once ctx is done the engine
+// aborts at the next epoch boundary, returning the deterministic
+// prefix computed so far alongside ctx's error.
+func RunCtx(ctx context.Context, algo Algorithm, start []Point, opt Options) (Result, error) {
+	return sim.RunCtx(ctx, algo, start, opt)
+}
+
 // ConcurrentOptions configures a true-concurrency run.
 type ConcurrentOptions = rt.Options
 
@@ -182,6 +195,12 @@ type ConcurrentResult = rt.Result
 // genuine asynchrony from scheduler jitter instead of simulated events.
 func RunConcurrent(algo Algorithm, start []Point, opt ConcurrentOptions) (ConcurrentResult, error) {
 	return rt.Run(algo, start, opt)
+}
+
+// RunConcurrentCtx is RunConcurrent with caller cancellation layered
+// under the MaxWall clock: whichever expires first stops the run.
+func RunConcurrentCtx(ctx context.Context, algo Algorithm, start []Point, opt ConcurrentOptions) (ConcurrentResult, error) {
+	return rt.RunCtx(ctx, algo, start, opt)
 }
 
 // ---------------------------------------------------------------------
