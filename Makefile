@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint vet race fuzz-smoke check
+.PHONY: build test lint vet race bench-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,15 @@ lint:
 vet:
 	$(GO) vet ./...
 
-## race: the concurrent runtime (one goroutine per robot), the engine
-## and the HTTP service under the race detector.
+## race: the concurrent runtime (one goroutine per robot), the engine,
+## the HTTP service and the observability layer under the race detector.
 race:
-	$(GO) test -race ./internal/rt/... ./internal/sim/... ./internal/serve/...
+	$(GO) test -race ./internal/rt/... ./internal/sim/... ./internal/serve/... ./internal/obs/...
+
+## bench-smoke: every benchmark compiles and completes one iteration
+## (catches drift between the experiment harness and bench_test.go).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 ## fuzz-smoke: short fuzz runs of the geometry differential targets,
 ## mirroring the CI smoke (corpora live in internal/geom/testdata/fuzz).
@@ -31,5 +36,5 @@ fuzz-smoke:
 	$(GO) test ./internal/geom -run '^$$' -fuzz '^FuzzSegmentCross$$' -fuzztime 15s
 
 ## check: everything a PR must pass, in fail-fast order.
-check: build vet lint test race fuzz-smoke
+check: build vet lint test race bench-smoke fuzz-smoke
 	@echo "all gates passed"

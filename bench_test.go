@@ -174,6 +174,28 @@ func BenchmarkEngineRun(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRunNoopObserver is BenchmarkEngineRun with a no-op
+// observer attached: the difference between the two is the whole cost of
+// the observation layer when someone listens but does nothing. Compare
+// against BenchmarkEngineRun (nil Observer) to verify the disabled path
+// stays free.
+func BenchmarkEngineRunNoopObserver(b *testing.B) {
+	pts := luxvis.Generate(luxvis.Uniform, 64, 1)
+	noop := &luxvis.ObserverFuncs{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := luxvis.DefaultOptions(luxvis.NewAsyncRandom(), int64(i+1))
+		opt.Observer = noop
+		res, err := luxvis.Run(luxvis.NewLogVis(), pts, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Reached {
+			b.Fatalf("iteration %d did not converge", i)
+		}
+	}
+}
+
 // BenchmarkA1_SagittaAblation regenerates ablation A1: the quadratic
 // landing-sagitta law against the naive constant fraction. Metric: the
 // fraction of ablated runs that still converge.

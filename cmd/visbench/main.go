@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"luxvis/internal/exp"
+	"luxvis/internal/version"
 )
 
 func main() {
@@ -27,8 +28,13 @@ func main() {
 		seeds   = flag.Int("seeds", 0, "repetitions per cell (0 = experiment default)")
 		epochs  = flag.Int("max-epochs", 0, "per-run epoch cap (0 = default)")
 		svgDir  = flag.String("svg", "", "also write SVG figures (T1, F1, F3) into this directory")
+		showVer = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 
 	cfg := exp.Config{Quick: *quick, Seeds: *seeds, MaxEpochs: *epochs, Out: os.Stdout}
 

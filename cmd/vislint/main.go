@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"luxvis/internal/lint"
+	"luxvis/internal/version"
 )
 
 func main() {
@@ -38,12 +39,18 @@ func run(args []string, stdout, stderr *os.File) int {
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	runNames := fs.String("run", "", "comma-separated analyzer subset (default: all)")
 	quiet := fs.Bool("q", false, "print only the summary line")
+	showVer := fs.Bool("version", false, "print build version and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: vislint [flags] [packages]\n\nFlags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *showVer {
+		fmt.Fprintln(stdout, version.String())
+		return 0
 	}
 
 	if *list {

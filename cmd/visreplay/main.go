@@ -27,6 +27,7 @@ import (
 	"luxvis/internal/svgx"
 	"luxvis/internal/trace"
 	"luxvis/internal/verify"
+	"luxvis/internal/version"
 )
 
 func main() {
@@ -36,8 +37,13 @@ func main() {
 		doAudit = flag.Bool("verify", false, "re-derive all safety verdicts from the trace with the independent auditor")
 		width   = flag.Float64("w", 720, "viewport width")
 		height  = flag.Float64("h", 720, "viewport height")
+		showVer = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 	if *inPath == "" {
 		fmt.Fprintln(os.Stderr, "visreplay: -in is required")
 		os.Exit(2)

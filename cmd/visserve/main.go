@@ -12,7 +12,12 @@
 // Try it:
 //
 //	curl 'localhost:8080/v1/run?algorithm=logvis&n=64&seed=7'
-//	curl localhost:8080/metrics
+//	curl localhost:8080/metrics                      # JSON snapshot
+//	curl -H 'Accept: text/plain' localhost:8080/metrics   # Prometheus text
+//
+// With -debug-addr a second, operator-only listener serves
+// net/http/pprof profiles and /debug/runs (in-flight jobs with their
+// current epoch); bind it to loopback only.
 package main
 
 import (
@@ -27,18 +32,25 @@ import (
 	"time"
 
 	"luxvis/internal/serve"
+	"luxvis/internal/version"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "simulation workers (0 = NumCPU)")
-		queue   = flag.Int("queue", 0, "job queue depth before shedding 429s (0 = default)")
-		cache   = flag.Int("cache", 0, "LRU result-cache entries (0 = default)")
-		timeout = flag.Duration("timeout", 0, "default per-job deadline (0 = 2m)")
-		maxN    = flag.Int("max-n", 0, "largest accepted swarm size (0 = default)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "simulation workers (0 = NumCPU)")
+		queue     = flag.Int("queue", 0, "job queue depth before shedding 429s (0 = default)")
+		cache     = flag.Int("cache", 0, "LRU result-cache entries (0 = default)")
+		timeout   = flag.Duration("timeout", 0, "default per-job deadline (0 = 2m)")
+		maxN      = flag.Int("max-n", 0, "largest accepted swarm size (0 = default)")
+		debugAddr = flag.String("debug-addr", "", "optional operator listener for pprof and /debug/runs (e.g. 127.0.0.1:6060)")
+		showVer   = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 
 	srv := serve.New(serve.Options{
 		Workers:        *workers,
@@ -52,9 +64,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var ds *http.Server
+	if *debugAddr != "" {
+		// Separate listener so profiles and run internals never share a
+		// port with the public API.
+		ds = &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler()}
+		go func() {
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "visserve: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("visserve: debug listener on %s (pprof, /debug/runs)\n", *debugAddr)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Printf("visserve: listening on %s\n", *addr)
+	fmt.Printf("visserve: %s listening on %s\n", version.String(), *addr)
 
 	select {
 	case <-ctx.Done():
@@ -68,6 +93,9 @@ func main() {
 	// every accepted job finishes (or hits its own deadline).
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	if ds != nil {
+		_ = ds.Shutdown(shutdownCtx)
+	}
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "visserve: shutdown: %v\n", err)
 	}

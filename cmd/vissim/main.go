@@ -9,6 +9,8 @@
 //	vissim -n 32 -concurrent                  # goroutine-per-robot runtime
 //	vissim -n 64 -csv runs.csv                # append a summary row
 //	vissim -n 64 -trace run.jsonl             # record a full event trace
+//	vissim -n 64 -telemetry epochs.jsonl      # per-epoch phase telemetry
+//	vissim -n 64 -flight crash.jsonl          # last-512-events dump on failure
 package main
 
 import (
@@ -22,10 +24,12 @@ import (
 	"luxvis/internal/config"
 	"luxvis/internal/core"
 	"luxvis/internal/model"
+	"luxvis/internal/obs"
 	"luxvis/internal/rt"
 	"luxvis/internal/sched"
 	"luxvis/internal/sim"
 	"luxvis/internal/trace"
+	"luxvis/internal/version"
 )
 
 func main() {
@@ -41,8 +45,16 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-violation details")
 		csvPath    = flag.String("csv", "", "append a run-summary CSV row to this file")
 		tracePath  = flag.String("trace", "", "write a JSONL event trace to this file")
+		telePath   = flag.String("telemetry", "", "stream per-epoch phase telemetry JSONL to this file")
+		flightPath = flag.String("flight", "", "write a flight-recorder dump (last events) to this file on violation/abort")
+		flightK    = flag.Int("flight-events", 0, "flight-recorder ring size (0 = default 512)")
+		showVer    = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 
 	var algo model.Algorithm
 	switch *algoName {
@@ -69,8 +81,33 @@ func main() {
 	}
 	pts := config.Generate(config.Family(*famName), *n, *seed)
 
+	// Optional observers: per-epoch telemetry and the flight recorder
+	// share one fan-out; absent flags keep Observer nil (zero cost).
+	var observers []sim.Observer
+	if *telePath != "" {
+		f, err := os.Create(*telePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vissim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		observers = append(observers, obs.NewTelemetryWriter(f))
+	}
+	var flight *obs.FlightRecorder
+	if *flightPath != "" {
+		f, err := os.Create(*flightPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vissim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		flight = obs.NewFlightRecorder(*flightK, f)
+		observers = append(observers, flight)
+	}
+	observer := obs.Multi(observers...)
+
 	if *concurrent {
-		res, err := rt.Run(algo, pts, rt.Options{Seed: *seed, MaxWall: 2 * time.Minute})
+		res, err := rt.Run(algo, pts, rt.Options{Seed: *seed, MaxWall: 2 * time.Minute, Observer: observer})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vissim: %v\n", err)
 			os.Exit(1)
@@ -87,6 +124,7 @@ func main() {
 	opt.MaxEpochs = *maxEpochs
 	opt.NonRigid = *nonRigid
 	opt.RecordTrace = *tracePath != ""
+	opt.Observer = observer
 	res, err := sim.Run(algo, pts, opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vissim: %v\n", err)
@@ -99,6 +137,14 @@ func main() {
 		res.Reached, res.Epochs, res.FirstCVEpoch, res.Events, res.Cycles)
 	fmt.Printf("moves=%d total-dist=%.1f colors=%d collisions=%d path-crossings=%d min-pair-dist=%.4g\n",
 		res.Moves, res.TotalDist, res.ColorsUsed, res.Collisions, res.PathCrossings, res.MinPairDist)
+	fmt.Printf("phase-cycles interior=%d edge=%d corner=%d other=%d (moves %d/%d/%d/%d)\n",
+		res.PhaseCycles[sim.PhaseInterior], res.PhaseCycles[sim.PhaseEdge],
+		res.PhaseCycles[sim.PhaseCorner], res.PhaseCycles[sim.PhaseOther],
+		res.PhaseMoves[sim.PhaseInterior], res.PhaseMoves[sim.PhaseEdge],
+		res.PhaseMoves[sim.PhaseCorner], res.PhaseMoves[sim.PhaseOther])
+	if flight != nil && flight.Dumped() {
+		fmt.Fprintf(os.Stderr, "vissim: flight-recorder dump written to %s\n", *flightPath)
+	}
 	if *verbose {
 		for _, v := range res.Violations {
 			fmt.Println("  ", v)

@@ -22,6 +22,7 @@ import (
 	"luxvis/internal/sched"
 	"luxvis/internal/sim"
 	"luxvis/internal/svgx"
+	"luxvis/internal/version"
 )
 
 func main() {
@@ -35,8 +36,13 @@ func main() {
 		outPath   = flag.String("out", "out.svg", "output SVG path")
 		width     = flag.Float64("w", 720, "viewport width")
 		height    = flag.Float64("h", 720, "viewport height")
+		showVer   = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 
 	var algo model.Algorithm
 	switch *algoName {

@@ -37,10 +37,12 @@ func F7Convergence(cfg Config) (F7Result, error) {
 	out := F7Result{N: n, Samples: res.EpochSamples}
 	w := newTab(cfg.out())
 	fmt.Fprintf(w, "F7: convergence dynamics (LogVis, ASYNC, uniform, N=%d, reached=%v)\n", n, res.Reached)
-	fmt.Fprintln(w, "epoch\tcorners\tedge\tinterior\tmoves(cum)\tCV")
+	fmt.Fprintln(w, "epoch\tcorners\tedge\tinterior\tmoves(cum)\tCV\tcyc:int\tcyc:edge\tcyc:corner\tflights")
 	for _, s := range out.Samples {
-		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%v\n",
-			s.Epoch, s.Corners, s.EdgeRobots, s.Interior, s.MovesSoFar, s.CV)
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%v\t%d\t%d\t%d\t%d\n",
+			s.Epoch, s.Corners, s.EdgeRobots, s.Interior, s.MovesSoFar, s.CV,
+			s.Phases[sim.PhaseInterior], s.Phases[sim.PhaseEdge], s.Phases[sim.PhaseCorner],
+			s.PhaseMoves[sim.PhaseInterior])
 	}
 	return out, w.Flush()
 }

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"luxvis/internal/sim"
+	"luxvis/internal/trace"
+)
+
+// DefaultFlightEvents is the default flight-recorder ring capacity.
+const DefaultFlightEvents = 512
+
+// FlightRecorder keeps the last K engine events in a fixed-size ring and
+// dumps them as a JSONL trace snapshot — the internal/trace encoding, so
+// a flight dump's event lines are byte-identical to the tail of the full
+// RecordTrace trace of the same run — when something goes wrong:
+//
+//   - on the first safety violation (before the violating event lands),
+//   - on an aborted run (context cancellation or deadline), and
+//   - on a run that ends without reaching Complete Visibility
+//     (epoch/event cap exhaustion).
+//
+// At most one dump is written per run; the dump's header carries partial
+// run counters (epochs and events observed so far) and a Note with the
+// dump reason. This is the post-mortem path that costs O(K) memory and
+// no per-run I/O, where Options.RecordTrace costs O(events) memory on
+// every run, healthy or not.
+//
+// A FlightRecorder is safe for concurrent use but records one run at a
+// time: RunStart resets the ring. Successive dumps (one per run) append
+// to the same sink as concatenated JSONL streams.
+type FlightRecorder struct {
+	mu     sync.Mutex
+	k      int
+	sink   io.Writer
+	info   sim.RunInfo
+	ring   []sim.TraceEvent
+	next   int
+	count  int
+	events int // total events observed this run
+	epochs int
+	dumped bool
+	err    error
+}
+
+// NewFlightRecorder returns a recorder retaining the last k events
+// (k <= 0 selects DefaultFlightEvents) that dumps to sink. A nil sink
+// records but never writes; use Events or DumpTo to inspect manually.
+func NewFlightRecorder(k int, sink io.Writer) *FlightRecorder {
+	if k <= 0 {
+		k = DefaultFlightEvents
+	}
+	return &FlightRecorder{k: k, sink: sink, ring: make([]sim.TraceEvent, 0, k)}
+}
+
+// RunStart implements sim.Observer: it resets the ring for a new run.
+func (f *FlightRecorder) RunStart(info sim.RunInfo) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.info = info
+	f.ring = f.ring[:0]
+	f.next, f.count, f.events, f.epochs = 0, 0, 0, 0
+	f.dumped = false
+}
+
+// Event implements sim.Observer.
+func (f *FlightRecorder) Event(ev sim.TraceEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.events++
+	if len(f.ring) < f.k {
+		f.ring = append(f.ring, ev)
+		f.count = len(f.ring)
+		return
+	}
+	f.ring[f.next] = ev
+	f.next = (f.next + 1) % f.k
+}
+
+// CycleEnd implements sim.Observer (no-op).
+func (f *FlightRecorder) CycleEnd(sim.CycleInfo) {}
+
+// MoveEnd implements sim.Observer (no-op).
+func (f *FlightRecorder) MoveEnd(sim.MoveInfo) {}
+
+// EpochEnd implements sim.Observer.
+func (f *FlightRecorder) EpochEnd(s sim.EpochSample) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.epochs = s.Epoch
+}
+
+// ViolationFound implements sim.Observer: the first violation triggers
+// the dump, capturing the events leading up to it.
+func (f *FlightRecorder) ViolationFound(v sim.Violation) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dumpLocked(fmt.Sprintf("violation: %v", v))
+}
+
+// RunEnd implements sim.Observer: an aborted or non-converged run that
+// has not dumped yet dumps now.
+func (f *FlightRecorder) RunEnd(res *sim.Result, aborted error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case aborted != nil:
+		f.dumpLocked(fmt.Sprintf("aborted: %v", aborted))
+	case !res.Reached:
+		f.dumpLocked("run ended without reaching Complete Visibility")
+	}
+}
+
+// dumpLocked writes the ring to the sink once per run. f.mu is held.
+func (f *FlightRecorder) dumpLocked(reason string) {
+	if f.dumped {
+		return
+	}
+	f.dumped = true
+	if f.sink == nil {
+		return
+	}
+	if err := f.writeToLocked(f.sink, reason); err != nil && f.err == nil {
+		f.err = err
+	}
+}
+
+// writeToLocked encodes the current ring as a JSONL snapshot. f.mu is held.
+func (f *FlightRecorder) writeToLocked(w io.Writer, reason string) error {
+	h := trace.Header{
+		Kind:      "header",
+		Algorithm: f.info.Algorithm,
+		Scheduler: f.info.Scheduler,
+		N:         f.info.N,
+		Seed:      f.info.Seed,
+		Epochs:    f.epochs,
+		Events:    f.events,
+		Reached:   false,
+		Note:      fmt.Sprintf("flight-recorder dump (last %d of %d events): %s", f.count, f.events, reason),
+	}
+	return trace.Encode(w, h, trace.ConvertEvents(f.eventsLocked()))
+}
+
+// eventsLocked returns the retained events oldest-first. f.mu is held.
+func (f *FlightRecorder) eventsLocked() []sim.TraceEvent {
+	out := make([]sim.TraceEvent, 0, f.count)
+	if f.count < f.k {
+		return append(out, f.ring[:f.count]...)
+	}
+	out = append(out, f.ring[f.next:]...)
+	return append(out, f.ring[:f.next]...)
+}
+
+// Events returns a copy of the retained events, oldest first.
+func (f *FlightRecorder) Events() []sim.TraceEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eventsLocked()
+}
+
+// DumpTo writes the current ring as a JSONL snapshot to w regardless of
+// trigger state — the manual post-mortem hook.
+func (f *FlightRecorder) DumpTo(w io.Writer, reason string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writeToLocked(w, reason)
+}
+
+// Dumped reports whether the current run has written its dump.
+func (f *FlightRecorder) Dumped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumped
+}
+
+// Err returns the first sink write error, if any.
+func (f *FlightRecorder) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}

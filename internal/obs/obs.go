@@ -1,0 +1,152 @@
+// Package obs is the engine observability layer: ready-made
+// implementations of the sim.Observer callback interface, plus the text
+// encodings that surface them. It is dependency-free beyond the standard
+// library and the repo's own packages.
+//
+//   - Funcs adapts a sparse set of callbacks to the full interface.
+//   - Multi fans one run's callbacks out to several observers.
+//   - EngineTotals keeps lock-free lifetime counters across many runs
+//     (epochs, cycles, violations by kind, phase attribution) — the
+//     engine section of visserve's Prometheus exposition.
+//   - FlightRecorder keeps a fixed-size ring of the last K engine events
+//     and dumps a JSONL snapshot (internal/trace encoding) on the first
+//     safety violation or on an aborted run — post-mortem traces without
+//     paying Options.RecordTrace on every run.
+//   - TelemetryWriter streams epoch-granular run telemetry as JSONL.
+//   - TextWriter and Histogram implement the Prometheus text exposition
+//     format (version 0.0.4) without a client library.
+//
+// Observers attached to internal/sim runs are called from one goroutine
+// in deterministic order; observers shared across concurrent runs (the
+// visserve worker pool, internal/rt robot goroutines) must be
+// goroutine-safe. Everything in this package is safe for concurrent use.
+package obs
+
+import "luxvis/internal/sim"
+
+// Funcs adapts individual callback functions to sim.Observer; nil fields
+// are no-ops. The zero value is the canonical no-op observer (used by
+// the overhead benchmark in bench_test.go).
+type Funcs struct {
+	OnRunStart  func(sim.RunInfo)
+	OnEvent     func(sim.TraceEvent)
+	OnCycleEnd  func(sim.CycleInfo)
+	OnMoveEnd   func(sim.MoveInfo)
+	OnEpochEnd  func(sim.EpochSample)
+	OnViolation func(sim.Violation)
+	OnRunEnd    func(*sim.Result, error)
+}
+
+// RunStart implements sim.Observer.
+func (f *Funcs) RunStart(info sim.RunInfo) {
+	if f.OnRunStart != nil {
+		f.OnRunStart(info)
+	}
+}
+
+// Event implements sim.Observer.
+func (f *Funcs) Event(ev sim.TraceEvent) {
+	if f.OnEvent != nil {
+		f.OnEvent(ev)
+	}
+}
+
+// CycleEnd implements sim.Observer.
+func (f *Funcs) CycleEnd(c sim.CycleInfo) {
+	if f.OnCycleEnd != nil {
+		f.OnCycleEnd(c)
+	}
+}
+
+// MoveEnd implements sim.Observer.
+func (f *Funcs) MoveEnd(m sim.MoveInfo) {
+	if f.OnMoveEnd != nil {
+		f.OnMoveEnd(m)
+	}
+}
+
+// EpochEnd implements sim.Observer.
+func (f *Funcs) EpochEnd(s sim.EpochSample) {
+	if f.OnEpochEnd != nil {
+		f.OnEpochEnd(s)
+	}
+}
+
+// ViolationFound implements sim.Observer.
+func (f *Funcs) ViolationFound(v sim.Violation) {
+	if f.OnViolation != nil {
+		f.OnViolation(v)
+	}
+}
+
+// RunEnd implements sim.Observer.
+func (f *Funcs) RunEnd(res *sim.Result, aborted error) {
+	if f.OnRunEnd != nil {
+		f.OnRunEnd(res, aborted)
+	}
+}
+
+// multi fans every callback out to its members, in order.
+type multi []sim.Observer
+
+// Multi combines observers into one that invokes each in argument order.
+// Nil members are dropped; zero (remaining) observers yield nil, so the
+// result can be assigned to sim.Options.Observer directly without
+// defeating the engine's disabled-observation fast path.
+func Multi(obs ...sim.Observer) sim.Observer {
+	kept := make(multi, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
+
+func (m multi) RunStart(info sim.RunInfo) {
+	for _, o := range m {
+		o.RunStart(info)
+	}
+}
+
+func (m multi) Event(ev sim.TraceEvent) {
+	for _, o := range m {
+		o.Event(ev)
+	}
+}
+
+func (m multi) CycleEnd(c sim.CycleInfo) {
+	for _, o := range m {
+		o.CycleEnd(c)
+	}
+}
+
+func (m multi) MoveEnd(mv sim.MoveInfo) {
+	for _, o := range m {
+		o.MoveEnd(mv)
+	}
+}
+
+func (m multi) EpochEnd(s sim.EpochSample) {
+	for _, o := range m {
+		o.EpochEnd(s)
+	}
+}
+
+func (m multi) ViolationFound(v sim.Violation) {
+	for _, o := range m {
+		o.ViolationFound(v)
+	}
+}
+
+func (m multi) RunEnd(res *sim.Result, aborted error) {
+	for _, o := range m {
+		o.RunEnd(res, aborted)
+	}
+}

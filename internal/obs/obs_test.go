@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"testing"
+
+	"luxvis/internal/sim"
+)
+
+// tagObserver records the order callbacks arrive in across a Multi.
+type tagObserver struct {
+	tag string
+	log *[]string
+}
+
+func (o tagObserver) RunStart(sim.RunInfo)          { *o.log = append(*o.log, o.tag+":start") }
+func (o tagObserver) Event(sim.TraceEvent)          { *o.log = append(*o.log, o.tag+":event") }
+func (o tagObserver) CycleEnd(sim.CycleInfo)        { *o.log = append(*o.log, o.tag+":cycle") }
+func (o tagObserver) MoveEnd(sim.MoveInfo)          { *o.log = append(*o.log, o.tag+":move") }
+func (o tagObserver) EpochEnd(sim.EpochSample)      { *o.log = append(*o.log, o.tag+":epoch") }
+func (o tagObserver) ViolationFound(sim.Violation)  { *o.log = append(*o.log, o.tag+":violation") }
+func (o tagObserver) RunEnd(*sim.Result, error)     { *o.log = append(*o.log, o.tag+":end") }
+
+func TestMultiDropsNilsAndPreservesFastPath(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() != nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) != nil")
+	}
+	var log []string
+	a := tagObserver{tag: "a", log: &log}
+	if got := Multi(nil, a, nil); got != (a) {
+		t.Errorf("Multi with one live member returned %T, want the member itself", got)
+	}
+}
+
+func TestMultiFansOutInOrder(t *testing.T) {
+	var log []string
+	m := Multi(tagObserver{tag: "a", log: &log}, tagObserver{tag: "b", log: &log})
+	m.RunStart(sim.RunInfo{})
+	m.Event(sim.TraceEvent{})
+	m.CycleEnd(sim.CycleInfo{})
+	m.MoveEnd(sim.MoveInfo{})
+	m.EpochEnd(sim.EpochSample{})
+	m.ViolationFound(sim.Violation{})
+	m.RunEnd(&sim.Result{}, nil)
+	want := []string{
+		"a:start", "b:start", "a:event", "b:event", "a:cycle", "b:cycle",
+		"a:move", "b:move", "a:epoch", "b:epoch",
+		"a:violation", "b:violation", "a:end", "b:end",
+	}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log[%d] = %q, want %q (full: %v)", i, log[i], want[i], log)
+		}
+	}
+}
+
+func TestFuncsZeroValueIsSafe(t *testing.T) {
+	var f Funcs // all callbacks nil: the canonical no-op observer
+	f.RunStart(sim.RunInfo{})
+	f.Event(sim.TraceEvent{})
+	f.CycleEnd(sim.CycleInfo{})
+	f.MoveEnd(sim.MoveInfo{})
+	f.EpochEnd(sim.EpochSample{})
+	f.ViolationFound(sim.Violation{})
+	f.RunEnd(&sim.Result{}, nil)
+}
+
+func TestFuncsDispatch(t *testing.T) {
+	got := 0
+	f := &Funcs{OnEpochEnd: func(s sim.EpochSample) { got = s.Epoch }}
+	f.EpochEnd(sim.EpochSample{Epoch: 7})
+	f.Event(sim.TraceEvent{}) // nil field: no-op
+	if got != 7 {
+		t.Errorf("OnEpochEnd not dispatched: got %d", got)
+	}
+}

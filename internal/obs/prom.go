@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format this package emits.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Name, Value string
+}
+
+// TextWriter emits the Prometheus text exposition format (version
+// 0.0.4): `# HELP`/`# TYPE` comments followed by `name{labels} value`
+// sample lines. It needs no client library and performs no buffering of
+// its own; errors stick and are reported by Err, so callers can emit a
+// whole page and check once.
+//
+// HELP and TYPE are written the first time a metric family name is used;
+// later samples of the same family (other label sets) emit bare sample
+// lines, as the format requires.
+type TextWriter struct {
+	w        io.Writer
+	err      error
+	families map[string]bool
+}
+
+// NewTextWriter returns a TextWriter emitting to w.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{w: w, families: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (t *TextWriter) Err() error { return t.err }
+
+// Counter emits one counter sample.
+func (t *TextWriter) Counter(name, help string, v float64, labels ...Label) {
+	t.family(name, help, "counter")
+	t.sample(name, labels, v)
+}
+
+// Gauge emits one gauge sample.
+func (t *TextWriter) Gauge(name, help string, v float64, labels ...Label) {
+	t.family(name, help, "gauge")
+	t.sample(name, labels, v)
+}
+
+// Histogram emits one histogram: cumulative `_bucket` samples with `le`
+// labels (ending at `+Inf`), then `_sum` and `_count`.
+func (t *TextWriter) Histogram(name, help string, h HistogramSnapshot, labels ...Label) {
+	t.family(name, help, "histogram")
+	for i, b := range h.Bounds {
+		le := Label{Name: "le", Value: formatValue(b)}
+		t.sample(name+"_bucket", append(append([]Label(nil), labels...), le), float64(h.Cumulative[i]))
+	}
+	inf := Label{Name: "le", Value: "+Inf"}
+	t.sample(name+"_bucket", append(append([]Label(nil), labels...), inf), float64(h.Count))
+	t.sample(name+"_sum", labels, h.Sum)
+	t.sample(name+"_count", labels, float64(h.Count))
+}
+
+// family writes the HELP/TYPE preamble once per metric family.
+func (t *TextWriter) family(name, help, typ string) {
+	if t.err != nil || t.families[name] {
+		return
+	}
+	t.families[name] = true
+	_, t.err = fmt.Fprintf(t.w, "# HELP %s %s\n# TYPE %s %s\n",
+		name, escapeHelp(help), name, typ)
+}
+
+// sample writes one `name{labels} value` line.
+func (t *TextWriter) sample(name string, labels []Label, v float64) {
+	if t.err != nil {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(l.Value))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(v))
+	sb.WriteByte('\n')
+	_, t.err = io.WriteString(t.w, sb.String())
+}
+
+// formatValue renders a sample or `le` bound value.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// ---------------------------------------------------------------------
+// Cumulative histogram accumulator
+
+// Histogram is a fixed-bound cumulative histogram safe for concurrent
+// use: per-bucket atomic counters plus a CAS-accumulated sum. Unlike the
+// sliding-window quantiles in internal/serve, a Histogram never forgets —
+// it is the lifetime distribution Prometheus rate() and
+// histogram_quantile() expect.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; +Inf bucket implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram returns a histogram over the given upper bucket bounds,
+// which must be strictly ascending and finite. The +Inf bucket is
+// implicit.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("obs: non-finite histogram bound")
+		}
+		if i > 0 && bounds[i-1] >= b {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		val := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(val)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, in the shape
+// the exposition format needs (cumulative bucket counts).
+type HistogramSnapshot struct {
+	// Bounds are the finite upper bounds; the +Inf bucket is implicit.
+	Bounds []float64
+	// Cumulative[i] counts observations <= Bounds[i].
+	Cumulative []uint64
+	Sum        float64
+	Count      uint64
+}
+
+// Snapshot copies the histogram state. Buckets are read one by one, so a
+// snapshot taken during concurrent observation is approximate in the way
+// Prometheus scrapes always are (cumulative counts stay monotone within
+// the snapshot by construction).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:     append([]float64(nil), h.bounds...),
+		Cumulative: make([]uint64, len(h.bounds)),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += uint64(h.counts[i].Load())
+		if i < len(s.Cumulative) {
+			s.Cumulative[i] = cum
+		}
+	}
+	s.Count = cum
+	s.Sum = math.Float64frombits(h.sum.Load())
+	return s
+}
+
+// DefaultLatencyBucketsMs are the visserve request-latency bucket bounds
+// in milliseconds: roughly logarithmic from sub-millisecond handler hits
+// (cache) to the multi-minute experiment ceiling.
+func DefaultLatencyBucketsMs() []float64 {
+	return []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 15000, 60000, 120000}
+}

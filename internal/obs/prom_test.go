@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sampleLine matches one exposition sample: name{labels} value.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$`)
+
+func TestTextWriterGrammar(t *testing.T) {
+	var sb strings.Builder
+	w := NewTextWriter(&sb)
+	w.Counter("jobs_total", "Jobs.", 3)
+	w.Counter("jobs_total", "Jobs.", 4, Label{Name: "kind", Value: "run"})
+	w.Gauge("depth", "Queue depth.", 1.5)
+	h := NewHistogram(1, 2)
+	h.Observe(0.5)
+	h.Observe(3)
+	w.Histogram("lat_ms", "Latency.", h.Snapshot(), Label{Name: "endpoint", Value: "/v1/run"})
+	if err := w.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+
+	out := sb.String()
+	help, typ := 0, 0
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			help++
+		case strings.HasPrefix(line, "# TYPE "):
+			typ++
+		default:
+			if !sampleLine.MatchString(line) {
+				t.Errorf("malformed sample line %q", line)
+			}
+		}
+	}
+	// Three families (jobs_total once despite two samples), one HELP and
+	// one TYPE each.
+	if help != 3 || typ != 3 {
+		t.Errorf("HELP=%d TYPE=%d, want 3/3\n%s", help, typ, out)
+	}
+	for _, want := range []string{
+		"jobs_total 3",
+		`jobs_total{kind="run"} 4`,
+		"depth 1.5",
+		`lat_ms_bucket{endpoint="/v1/run",le="+Inf"} 2`,
+		`lat_ms_count{endpoint="/v1/run"} 2`,
+		`lat_ms_sum{endpoint="/v1/run"} 3.5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTextWriterEscaping(t *testing.T) {
+	var sb strings.Builder
+	w := NewTextWriter(&sb)
+	w.Counter("m", "line\nbreak and back\\slash", 1,
+		Label{Name: "v", Value: "q\"uote\nnl\\bs"})
+	out := sb.String()
+	if !strings.Contains(out, `# HELP m line\nbreak and back\\slash`) {
+		t.Errorf("HELP not escaped: %q", out)
+	}
+	if !strings.Contains(out, `m{v="q\"uote\nnl\\bs"} 1`) {
+		t.Errorf("label not escaped: %q", out)
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBucketsMs()...)
+	values := []float64{0.1, 0.5, 0.6, 7, 7, 40, 99.9, 100, 3000, 500000}
+	var sum float64
+	for _, v := range values {
+		h.Observe(v)
+		sum += v
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(values)) {
+		t.Errorf("Count = %d, want %d", s.Count, len(values))
+	}
+	if math.Abs(s.Sum-sum) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", s.Sum, sum)
+	}
+	prev := uint64(0)
+	for i, c := range s.Cumulative {
+		if c < prev {
+			t.Errorf("bucket %d not monotone: %d after %d", i, c, prev)
+		}
+		prev = c
+	}
+	// An observation above every bound lands only in the implicit +Inf
+	// bucket: the last finite cumulative count must exclude it.
+	if last := s.Cumulative[len(s.Cumulative)-1]; last != uint64(len(values))-1 {
+		t.Errorf("last finite bucket = %d, want %d", last, len(values)-1)
+	}
+	// Boundary semantics: le is inclusive (v <= bound).
+	h2 := NewHistogram(10)
+	h2.Observe(10)
+	if got := h2.Snapshot().Cumulative[0]; got != 1 {
+		t.Errorf("le=10 bucket after Observe(10) = %d, want 1", got)
+	}
+}
+
+func TestHistogramBoundsValidation(t *testing.T) {
+	for _, bounds := range [][]float64{
+		{1, 1},
+		{2, 1},
+		{math.NaN()},
+		{math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i % 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Errorf("Count = %d, want %d", s.Count, workers*per)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		1.5:          "1.5",
+		1000:         "1000",
+	}
+	for v, want := range cases {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+	// Round-trip: every finite rendering must parse back exactly.
+	for _, v := range []float64{0.1, 123456.789, 1e-9} {
+		back, err := strconv.ParseFloat(formatValue(v), 64)
+		if err != nil || back != v {
+			t.Errorf("round-trip %v -> %q -> %v (%v)", v, formatValue(v), back, err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+
+	"luxvis/internal/sim"
+)
+
+// TelemetryWriter streams epoch-granular run telemetry as JSON lines
+// while a run executes: a run-start line, one line per epoch boundary
+// (hull composition plus the epoch's phase attribution), one line per
+// safety violation, and a run-end summary. It is the `vissim -telemetry`
+// backend: a live, line-oriented view of where the O(log N) budget goes,
+// cheap enough to leave on (one buffered write per epoch, not per
+// event).
+type TelemetryWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewTelemetryWriter returns a writer streaming to w. Output is buffered
+// and flushed at every line so a consumer tailing the stream sees epochs
+// as they complete.
+func NewTelemetryWriter(w io.Writer) *TelemetryWriter {
+	bw := bufio.NewWriter(w)
+	return &TelemetryWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Err returns the first write error, if any.
+func (t *TelemetryWriter) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// emit encodes one line and flushes.
+func (t *TelemetryWriter) emit(v any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err := t.enc.Encode(v); err != nil {
+		t.err = err
+		return
+	}
+	t.err = t.bw.Flush()
+}
+
+// phaseMap renders a per-phase counter array with phase-name keys.
+func phaseMap(counts [sim.NumPhases]int) map[string]int {
+	m := make(map[string]int, sim.NumPhases)
+	for _, p := range sim.AllPhases() {
+		m[p.String()] = counts[p]
+	}
+	return m
+}
+
+// RunStart implements sim.Observer.
+func (t *TelemetryWriter) RunStart(info sim.RunInfo) {
+	t.emit(struct {
+		Kind      string `json:"kind"`
+		Algorithm string `json:"algorithm"`
+		Scheduler string `json:"scheduler"`
+		N         int    `json:"n"`
+		Seed      int64  `json:"seed"`
+	}{"run-start", info.Algorithm, info.Scheduler, info.N, info.Seed})
+}
+
+// Event implements sim.Observer (no-op; telemetry is epoch-granular).
+func (t *TelemetryWriter) Event(sim.TraceEvent) {}
+
+// CycleEnd implements sim.Observer (no-op).
+func (t *TelemetryWriter) CycleEnd(sim.CycleInfo) {}
+
+// MoveEnd implements sim.Observer (no-op).
+func (t *TelemetryWriter) MoveEnd(sim.MoveInfo) {}
+
+// EpochEnd implements sim.Observer.
+func (t *TelemetryWriter) EpochEnd(s sim.EpochSample) {
+	t.emit(struct {
+		Kind       string         `json:"kind"`
+		Epoch      int            `json:"epoch"`
+		Corners    int            `json:"corners"`
+		Edge       int            `json:"edge"`
+		Interior   int            `json:"interior"`
+		MovesSoFar int            `json:"movesSoFar"`
+		CV         bool           `json:"cv"`
+		Phases     map[string]int `json:"phases"`
+		PhaseMoves map[string]int `json:"phaseMoves"`
+	}{"epoch", s.Epoch, s.Corners, s.EdgeRobots, s.Interior, s.MovesSoFar, s.CV,
+		phaseMap(s.Phases), phaseMap(s.PhaseMoves)})
+}
+
+// ViolationFound implements sim.Observer.
+func (t *TelemetryWriter) ViolationFound(v sim.Violation) {
+	t.emit(struct {
+		Kind      string `json:"kind"`
+		Violation string `json:"violation"`
+		Event     int    `json:"event"`
+	}{"violation", v.String(), v.Event})
+}
+
+// RunEnd implements sim.Observer.
+func (t *TelemetryWriter) RunEnd(res *sim.Result, aborted error) {
+	abort := ""
+	if aborted != nil {
+		abort = aborted.Error()
+	}
+	t.emit(struct {
+		Kind       string `json:"kind"`
+		Reached    bool   `json:"reached"`
+		Epochs     int    `json:"epochs"`
+		Events     int    `json:"events"`
+		Cycles     int    `json:"cycles"`
+		Moves      int    `json:"moves"`
+		Violations int    `json:"violations"`
+		Aborted    string `json:"aborted,omitempty"`
+	}{"run-end", res.Reached, res.Epochs, res.Events, res.Cycles, res.Moves,
+		len(res.Violations), abort})
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"luxvis/internal/sim"
+)
+
+func telemetryLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestTelemetryWriterStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTelemetryWriter(&buf)
+	w.RunStart(sim.RunInfo{Algorithm: "logvis", Scheduler: "fsync", N: 8, Seed: 2})
+	w.Event(sim.TraceEvent{})   // no-op
+	w.CycleEnd(sim.CycleInfo{}) // no-op
+	w.MoveEnd(sim.MoveInfo{})   // no-op
+	var phases [sim.NumPhases]int
+	phases[sim.PhaseInterior] = 5
+	w.EpochEnd(sim.EpochSample{Epoch: 1, Corners: 3, Interior: 5, CV: false, Phases: phases})
+	w.ViolationFound(sim.Violation{Kind: sim.VPathCross, Event: 9})
+	w.RunEnd(&sim.Result{Reached: true, Epochs: 4}, nil)
+	if err := w.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+
+	lines := telemetryLines(t, &buf)
+	kinds := make([]string, len(lines))
+	for i, m := range lines {
+		kinds[i] = m["kind"].(string)
+	}
+	want := []string{"run-start", "epoch", "violation", "run-end"}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("line %d kind = %q, want %q", i, kinds[i], want[i])
+		}
+	}
+	ep := lines[1]
+	if ep["epoch"].(float64) != 1 || ep["corners"].(float64) != 3 {
+		t.Errorf("epoch line: %v", ep)
+	}
+	if ep["phases"].(map[string]any)["interior-depletion"].(float64) != 5 {
+		t.Errorf("epoch phases: %v", ep["phases"])
+	}
+	end := lines[3]
+	if end["reached"] != true {
+		t.Errorf("run-end line: %v", end)
+	}
+	if _, present := end["aborted"]; present {
+		t.Errorf("aborted present on a clean run: %v", end)
+	}
+}
+
+func TestTelemetryWriterAborted(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTelemetryWriter(&buf)
+	w.RunEnd(&sim.Result{}, errors.New("context deadline exceeded"))
+	lines := telemetryLines(t, &buf)
+	if len(lines) != 1 || lines[0]["aborted"] != "context deadline exceeded" {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+// errWriter fails after the first write to exercise the sticky error.
+type errWriter struct{ n int }
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	e.n++
+	if e.n > 1 {
+		return 0, errors.New("sink full")
+	}
+	return len(p), nil
+}
+
+func TestTelemetryWriterStickyError(t *testing.T) {
+	w := NewTelemetryWriter(&errWriter{})
+	w.RunStart(sim.RunInfo{})
+	w.EpochEnd(sim.EpochSample{Epoch: 1})
+	w.EpochEnd(sim.EpochSample{Epoch: 2})
+	if w.Err() == nil {
+		t.Error("write error not recorded")
+	}
+}

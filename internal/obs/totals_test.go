@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"luxvis/internal/sim"
+)
+
+func TestEngineTotalsSnapshot(t *testing.T) {
+	tot := NewEngineTotals()
+	tot.RunStart(sim.RunInfo{})
+	tot.Event(sim.TraceEvent{})
+	tot.Event(sim.TraceEvent{})
+	tot.CycleEnd(sim.CycleInfo{Phase: sim.PhaseInterior, Moved: true})
+	tot.CycleEnd(sim.CycleInfo{Phase: sim.PhaseCorner})
+	tot.MoveEnd(sim.MoveInfo{})
+	tot.EpochEnd(sim.EpochSample{Epoch: 1})
+	tot.ViolationFound(sim.Violation{Kind: sim.VPalette})
+	tot.ViolationFound(sim.Violation{Kind: "mystery"})
+	tot.RunEnd(&sim.Result{Reached: true}, nil)
+	tot.RunEnd(&sim.Result{}, errors.New("ctx"))
+
+	s := tot.Snapshot()
+	if s.RunsStarted != 1 || s.RunsFinished != 2 || s.RunsAborted != 1 || s.CVReached != 1 {
+		t.Errorf("run counters: %+v", s)
+	}
+	if s.Events != 2 || s.Cycles != 2 || s.Moves != 1 || s.Epochs != 1 {
+		t.Errorf("volume counters: %+v", s)
+	}
+	if s.Violations[string(sim.VPalette)] != 1 || s.Violations["other"] != 1 {
+		t.Errorf("violations: %v", s.Violations)
+	}
+	if s.PhaseCycles[sim.PhaseInterior.String()] != 1 ||
+		s.PhaseMoves[sim.PhaseInterior.String()] != 1 ||
+		s.PhaseCycles[sim.PhaseCorner.String()] != 1 {
+		t.Errorf("phases: cycles=%v moves=%v", s.PhaseCycles, s.PhaseMoves)
+	}
+	// Every key is always present, even at zero.
+	for _, k := range []string{"colocation", "pass-through", "path-cross", "palette", "bad-target", "other"} {
+		if _, ok := s.Violations[k]; !ok {
+			t.Errorf("missing violation key %q", k)
+		}
+	}
+	for _, p := range sim.AllPhases() {
+		if _, ok := s.PhaseCycles[p.String()]; !ok {
+			t.Errorf("missing phase key %q", p)
+		}
+	}
+}
+
+// TestEngineTotalsConcurrent exercises the accumulator the way visserve
+// does: one shared instance attached to many concurrent runs. Run under
+// -race in CI.
+func TestEngineTotalsConcurrent(t *testing.T) {
+	tot := NewEngineTotals()
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tot.RunStart(sim.RunInfo{})
+				tot.Event(sim.TraceEvent{})
+				tot.CycleEnd(sim.CycleInfo{Phase: sim.Phase(i % sim.NumPhases), Moved: i%2 == 0})
+				tot.EpochEnd(sim.EpochSample{})
+				tot.RunEnd(&sim.Result{Reached: i%2 == 0}, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	s := tot.Snapshot()
+	if s.RunsStarted != workers*per || s.RunsFinished != workers*per {
+		t.Errorf("runs: %+v", s)
+	}
+	if s.Cycles != workers*per || s.Events != workers*per {
+		t.Errorf("volume: %+v", s)
+	}
+	var phaseSum int64
+	for _, v := range s.PhaseCycles {
+		phaseSum += v
+	}
+	if phaseSum != s.Cycles {
+		t.Errorf("phase cycles sum %d != cycles %d", phaseSum, s.Cycles)
+	}
+}
+
+func TestEngineTotalsWritePrometheus(t *testing.T) {
+	tot := NewEngineTotals()
+	tot.RunStart(sim.RunInfo{})
+	tot.CycleEnd(sim.CycleInfo{Phase: sim.PhaseEdge})
+	tot.ViolationFound(sim.Violation{Kind: sim.VPathCross})
+	var sb strings.Builder
+	w := NewTextWriter(&sb)
+	tot.WritePrometheus(w, "luxvis_engine")
+	if err := w.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"luxvis_engine_runs_started_total 1",
+		`luxvis_engine_violations_total{kind="path-cross"} 1`,
+		`luxvis_engine_phase_cycles_total{phase="edge-depletion"} 1`,
+		`luxvis_engine_phase_cycles_total{phase="other"} 0`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE for the labeled family must appear exactly once.
+	if n := strings.Count(out, "# TYPE luxvis_engine_violations_total counter"); n != 1 {
+		t.Errorf("violations TYPE emitted %d times", n)
+	}
+}

@@ -1,0 +1,131 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"luxvis/internal/config"
+	"luxvis/internal/core"
+	"luxvis/internal/sim"
+)
+
+// atomicObserver counts callbacks with atomics only — the rt runtime
+// invokes CycleEnd from every robot goroutine concurrently, so this is
+// also the race detector's probe of the observer contract.
+type atomicObserver struct {
+	starts, cycles, moves, epochs, ends atomic.Int64
+	phaseCycles                         [sim.NumPhases]atomic.Int64
+
+	mu     sync.Mutex
+	info   sim.RunInfo
+	result *sim.Result
+	endErr error
+}
+
+func (o *atomicObserver) RunStart(info sim.RunInfo) {
+	o.starts.Add(1)
+	o.mu.Lock()
+	o.info = info
+	o.mu.Unlock()
+}
+func (o *atomicObserver) Event(sim.TraceEvent) {}
+func (o *atomicObserver) CycleEnd(c sim.CycleInfo) {
+	o.cycles.Add(1)
+	if c.Phase >= 0 && int(c.Phase) < sim.NumPhases {
+		o.phaseCycles[c.Phase].Add(1)
+	}
+	if c.Moved {
+		o.moves.Add(1)
+	}
+}
+func (o *atomicObserver) MoveEnd(sim.MoveInfo)         {}
+func (o *atomicObserver) EpochEnd(sim.EpochSample)     { o.epochs.Add(1) }
+func (o *atomicObserver) ViolationFound(sim.Violation) {}
+func (o *atomicObserver) RunEnd(r *sim.Result, err error) {
+	o.ends.Add(1)
+	o.mu.Lock()
+	o.result = r
+	o.endErr = err
+	o.mu.Unlock()
+}
+
+func TestObserverCallbacks(t *testing.T) {
+	obs := &atomicObserver{}
+	pts := config.Generate(config.Uniform, 10, 7)
+	res, err := Run(core.NewLogVis(), pts, Options{
+		Seed:      3,
+		MaxWall:   20 * time.Second,
+		MeanDelay: 50 * time.Microsecond,
+		Observer:  obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("run did not stabilize: %+v", res)
+	}
+
+	if got := obs.starts.Load(); got != 1 {
+		t.Errorf("RunStart fired %d times", got)
+	}
+	if got := obs.ends.Load(); got != 1 {
+		t.Errorf("RunEnd fired %d times", got)
+	}
+	obs.mu.Lock()
+	info, final, endErr := obs.info, obs.result, obs.endErr
+	obs.mu.Unlock()
+	if info.Algorithm != "logvis" || info.Scheduler != "rt-async" || info.N != 10 || info.Seed != 3 {
+		t.Errorf("RunInfo = %+v", info)
+	}
+	if endErr != nil {
+		t.Errorf("RunEnd err = %v on a clean run", endErr)
+	}
+	if final == nil || !final.Reached || final.Scheduler != "rt-async" {
+		t.Errorf("RunEnd result = %+v", final)
+	}
+
+	// Every completed robot cycle is observed exactly once, and the
+	// phase attribution partitions them.
+	if got := obs.cycles.Load(); got != int64(res.Cycles) {
+		t.Errorf("CycleEnd fired %d times, result has %d cycles", got, res.Cycles)
+	}
+	if got := obs.moves.Load(); got > obs.cycles.Load() {
+		t.Errorf("observed %d moved cycles out of %d", got, obs.cycles.Load())
+	}
+	var phaseSum int64
+	for i := range obs.phaseCycles {
+		phaseSum += obs.phaseCycles[i].Load()
+	}
+	if phaseSum != obs.cycles.Load() {
+		t.Errorf("phase cycles sum %d != cycles %d", phaseSum, obs.cycles.Load())
+	}
+	if got := obs.epochs.Load(); got != int64(res.Epochs) {
+		t.Errorf("EpochEnd fired %d times, result has %d epochs", got, res.Epochs)
+	}
+}
+
+func TestObserverRunEndOnAbort(t *testing.T) {
+	obs := &atomicObserver{}
+	// Zero MaxWall aborts almost immediately; RunEnd must still fire,
+	// with the abort error attached.
+	pts := config.Generate(config.Line, 24, 1)
+	_, err := Run(core.NewLogVis(), pts, Options{
+		Seed:     1,
+		MaxWall:  time.Millisecond,
+		Observer: obs,
+	})
+	if got := obs.ends.Load(); got != 1 {
+		t.Fatalf("RunEnd fired %d times", got)
+	}
+	obs.mu.Lock()
+	endErr := obs.endErr
+	obs.mu.Unlock()
+	if err != nil && endErr == nil {
+		t.Errorf("Run returned %v but RunEnd saw no error", err)
+	}
+	if err == nil && endErr != nil {
+		t.Errorf("Run succeeded but RunEnd saw %v", endErr)
+	}
+}

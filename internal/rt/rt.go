@@ -19,6 +19,7 @@ import (
 
 	"luxvis/internal/geom"
 	"luxvis/internal/model"
+	"luxvis/internal/sim"
 )
 
 // Options configures a concurrent run.
@@ -36,6 +37,15 @@ type Options struct {
 	// a sleep between each, so robots are routinely observed mid-move
 	// (default 3).
 	SubSteps int
+	// Observer receives run callbacks, like sim.Options.Observer, with
+	// two differences dictated by real concurrency: it MUST be
+	// goroutine-safe (CycleEnd arrives from n robot goroutines, EpochEnd
+	// from the monitor goroutine, concurrently), and only RunStart,
+	// CycleEnd, EpochEnd and RunEnd are ever invoked — rt has no global
+	// event clock, so Event, MoveEnd and ViolationFound never fire.
+	// Callbacks run outside the world lock and may block without
+	// stalling other robots. Nil disables observation at zero cost.
+	Observer sim.Observer
 }
 
 // Result reports a concurrent run.
@@ -120,6 +130,12 @@ func RunCtx(parent context.Context, algo model.Algorithm, start []geom.Point, op
 	ctx, cancel := context.WithTimeout(parent, opt.MaxWall)
 	defer cancel()
 
+	if opt.Observer != nil {
+		opt.Observer.RunStart(sim.RunInfo{
+			Algorithm: algo.Name(), Scheduler: "rt-async", N: n, Seed: opt.Seed,
+		})
+	}
+
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -131,7 +147,7 @@ func RunCtx(parent context.Context, algo model.Algorithm, start []geom.Point, op
 	}
 
 	started := time.Now()
-	res := monitor(ctx, w, n)
+	res := monitor(ctx, w, n, opt.Observer)
 	cancel()
 	wg.Wait()
 
@@ -145,9 +161,18 @@ func RunCtx(parent context.Context, algo model.Algorithm, start []geom.Point, op
 	}
 	res.Cycles = total
 	w.mu.Unlock()
-	if err := parent.Err(); err != nil {
+	abortErr := parent.Err()
+	if opt.Observer != nil {
+		// rt has no sim.Result of its own; RunEnd gets a partial one
+		// carrying the fields both result types share.
+		opt.Observer.RunEnd(&sim.Result{
+			Algorithm: algo.Name(), Scheduler: "rt-async", N: n, Seed: opt.Seed,
+			Reached: res.Reached, Epochs: res.Epochs, Cycles: res.Cycles,
+		}, abortErr)
+	}
+	if abortErr != nil {
 		return res, fmt.Errorf("rt: run aborted after %d epochs (%d cycles): %w",
-			res.Epochs, res.Cycles, err)
+			res.Epochs, res.Cycles, abortErr)
 	}
 	return res, nil
 }
@@ -210,7 +235,16 @@ func robotLoop(ctx context.Context, w *world, algo model.Algorithm, id int, rng 
 		w.inFlight[id] = false
 		w.cleanLookSeq[id] = lookSeq
 		w.cycles[id]++
+		cyc := w.cycles[id]
 		w.mu.Unlock()
+		if opt.Observer != nil {
+			// Outside the world lock: a slow observer must not serialize
+			// the swarm. Event is the robot-local cycle ordinal — rt has
+			// no global event clock.
+			opt.Observer.CycleEnd(sim.CycleInfo{
+				Event: cyc, Robot: id, Phase: sim.PhaseOf(act.Color), Moved: moving,
+			})
+		}
 	}
 }
 
@@ -230,8 +264,9 @@ func snapshotLocked(w *world, id int) model.Snapshot {
 
 // monitor watches for stability: Complete Visibility holds, nobody is in
 // flight, and every robot has completed a cycle whose Look saw the final
-// world version. It also accounts epochs.
-func monitor(ctx context.Context, w *world, n int) Result {
+// world version. It also accounts epochs, notifying obs (outside the
+// world lock) at each boundary.
+func monitor(ctx context.Context, w *world, n int, obs sim.Observer) Result {
 	res := Result{}
 	epochMark := make([]int, n)
 	tick := time.NewTicker(500 * time.Microsecond)
@@ -258,6 +293,7 @@ func monitor(ctx context.Context, w *world, n int) Result {
 			copy(epochMark, w.cycles)
 			res.Epochs++
 		}
+		epochDone := allCycled
 		// Stability: no in-flight robots, all clean looks at the
 		// current world version.
 		stable := true
@@ -275,6 +311,11 @@ func monitor(ctx context.Context, w *world, n int) Result {
 		seq := w.changeSeq
 		w.mu.Unlock()
 
+		if epochDone && obs != nil {
+			// Only Epoch is meaningful here; rt tracks no per-phase or
+			// hull breakdown at epoch granularity.
+			obs.EpochEnd(sim.EpochSample{Epoch: res.Epochs})
+		}
 		if stable {
 			if pos != nil {
 				cvCached = geom.CompleteVisibilityFast(pos)

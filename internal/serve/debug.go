@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"luxvis/internal/obs"
+	"luxvis/internal/sim"
+	"luxvis/internal/version"
+)
+
+// runRegistry tracks in-flight engine runs so /debug/runs can show what
+// the worker pool is doing right now, with each run's current epoch.
+type runRegistry struct {
+	mu sync.Mutex
+	// All fields below are guarded by mu.
+	seq  int64
+	runs map[int64]*runEntry
+}
+
+// runEntry is one in-flight run. epoch is atomic because the engine
+// goroutine stores it (via the observer) while handler goroutines load
+// it for the listing.
+type runEntry struct {
+	id        int64
+	algorithm string
+	scheduler string
+	family    string
+	n         int
+	seed      int64
+	started   time.Time
+	epoch     atomic.Int64
+}
+
+func newRunRegistry() *runRegistry {
+	return &runRegistry{runs: make(map[int64]*runEntry)}
+}
+
+func (g *runRegistry) add(req RunRequest, family string) *runEntry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seq++
+	e := &runEntry{
+		id:        g.seq,
+		algorithm: req.Algorithm,
+		scheduler: req.Scheduler,
+		family:    family,
+		n:         req.N,
+		seed:      req.Seed,
+		started:   time.Now(),
+	}
+	g.runs[e.id] = e
+	return e
+}
+
+func (g *runRegistry) remove(id int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.runs, id)
+}
+
+func (g *runRegistry) len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.runs)
+}
+
+// observer returns the per-run observer that keeps the entry's epoch
+// counter current while the engine runs.
+func (e *runEntry) observer() sim.Observer {
+	return &obs.Funcs{
+		OnEpochEnd: func(s sim.EpochSample) { e.epoch.Store(int64(s.Epoch)) },
+	}
+}
+
+// DebugRun is one row of the /debug/runs listing.
+type DebugRun struct {
+	ID        int64  `json:"id"`
+	Algorithm string `json:"algorithm"`
+	Scheduler string `json:"scheduler"`
+	Family    string `json:"family"`
+	N         int    `json:"n"`
+	Seed      int64  `json:"seed"`
+	// Epoch is the run's last completed epoch (0 while the first epoch
+	// is still in flight).
+	Epoch     int64     `json:"epoch"`
+	RunningMs int64     `json:"runningMs"`
+	StartedAt time.Time `json:"startedAt"`
+}
+
+// DebugRuns is the /debug/runs response.
+type DebugRuns struct {
+	Count int        `json:"count"`
+	Runs  []DebugRun `json:"runs"`
+}
+
+func (g *runRegistry) list() DebugRuns {
+	g.mu.Lock()
+	entries := make([]*runEntry, 0, len(g.runs))
+	for _, e := range g.runs {
+		entries = append(entries, e)
+	}
+	g.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	out := DebugRuns{Count: len(entries), Runs: make([]DebugRun, 0, len(entries))}
+	for _, e := range entries {
+		out.Runs = append(out.Runs, DebugRun{
+			ID:        e.id,
+			Algorithm: e.algorithm,
+			Scheduler: e.scheduler,
+			Family:    e.family,
+			N:         e.n,
+			Seed:      e.seed,
+			Epoch:     e.epoch.Load(),
+			RunningMs: time.Since(e.started).Milliseconds(),
+			StartedAt: e.started,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleDebugRuns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.runs.list())
+}
+
+// DebugHandler returns the operator-only handler: net/http/pprof under
+// /debug/pprof/ and the in-flight run listing under /debug/runs. It is
+// meant for a separate loopback listener (visserve -debug-addr), never
+// the public one — profiles expose memory contents.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/runs", s.handleDebugRuns)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(version.String() + "\ndebug endpoints: /debug/runs /debug/pprof/ /healthz\n"))
+	})
+	return mux
+}

@@ -2,12 +2,16 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"luxvis/internal/obs"
 	"luxvis/internal/stats"
 )
 
 // latWindow is the number of most-recent latency samples retained per
-// endpoint; the histogram in /metrics summarizes this sliding window.
+// endpoint; the quantiles in the JSON /metrics snapshot summarize this
+// sliding window. The Prometheus exposition reports the lifetime
+// cumulative histogram instead (see endpointLat.hist).
 const latWindow = 4096
 
 // latRing is a fixed-capacity ring of latency samples (milliseconds).
@@ -27,89 +31,83 @@ func (r *latRing) add(ms float64) {
 	r.count++
 }
 
-// LatencySummary is the per-endpoint latency histogram reported by
-// /metrics, computed from the retained sample window with
-// internal/stats order statistics.
-type LatencySummary struct {
-	// Count is the total number of observations since startup (the
-	// quantiles cover the most recent latWindow of them).
-	Count  int     `json:"count"`
-	MeanMs float64 `json:"meanMs"`
-	P50Ms  float64 `json:"p50Ms"`
-	P90Ms  float64 `json:"p90Ms"`
-	P95Ms  float64 `json:"p95Ms"`
-	MaxMs  float64 `json:"maxMs"`
+// endpointLat bundles one endpoint's two latency views: the sliding
+// window behind the JSON quantiles, and the lifetime cumulative
+// histogram behind the Prometheus exposition.
+type endpointLat struct {
+	ring latRing
+	hist *obs.Histogram
 }
 
-// serverMetrics is the mutex-guarded counter state behind /metrics.
+// LatencySummary is the per-endpoint latency summary reported by the
+// JSON /metrics snapshot, computed with internal/stats order statistics.
+//
+// Semantics: Count is the lifetime number of observations since startup;
+// WindowCount is the number of samples in the retained sliding window
+// (at most 4096), and the mean/quantile/max fields describe that window
+// only. For lifetime distributions scrape the Prometheus exposition,
+// whose histograms never forget.
+type LatencySummary struct {
+	// Count is the total number of observations since startup.
+	Count int `json:"count"`
+	// WindowCount is the number of retained samples the remaining
+	// fields summarize (the most recent min(Count, 4096) observations).
+	WindowCount int     `json:"windowCount"`
+	MeanMs      float64 `json:"meanMs"`
+	P50Ms       float64 `json:"p50Ms"`
+	P90Ms       float64 `json:"p90Ms"`
+	P95Ms       float64 `json:"p95Ms"`
+	MaxMs       float64 `json:"maxMs"`
+}
+
+// serverMetrics is the counter state behind /metrics. The job-lifecycle
+// counters and the busy-worker gauge are plain atomics — the request
+// path increments them without any lock churn; only the per-endpoint
+// latency table (a map populated lazily) takes a mutex, once per
+// completed request.
 type serverMetrics struct {
+	accepted  atomic.Int64
+	completed atomic.Int64
+	rejected  atomic.Int64
+	timeouts  atomic.Int64
+	failed    atomic.Int64
+	busy      atomic.Int64
+
 	mu sync.Mutex
-	// All fields below are guarded by mu.
-	accepted  int
-	completed int
-	rejected  int
-	timeouts  int
-	failed    int
-	busy      int
-	latencies map[string]*latRing
+	// latencies is guarded by mu (map access and ring writes).
+	latencies map[string]*endpointLat
 }
 
 func newServerMetrics() *serverMetrics {
-	return &serverMetrics{latencies: make(map[string]*latRing)}
+	return &serverMetrics{latencies: make(map[string]*endpointLat)}
 }
 
-func (m *serverMetrics) jobAccepted() {
-	m.mu.Lock()
-	m.accepted++
-	m.mu.Unlock()
-}
+func (m *serverMetrics) jobAccepted() { m.accepted.Add(1) }
 
-func (m *serverMetrics) jobCompleted() {
-	m.mu.Lock()
-	m.completed++
-	m.mu.Unlock()
-}
+func (m *serverMetrics) jobCompleted() { m.completed.Add(1) }
 
-func (m *serverMetrics) jobRejected() {
-	m.mu.Lock()
-	m.rejected++
-	m.mu.Unlock()
-}
+func (m *serverMetrics) jobRejected() { m.rejected.Add(1) }
 
-func (m *serverMetrics) jobTimedOut() {
-	m.mu.Lock()
-	m.timeouts++
-	m.mu.Unlock()
-}
+func (m *serverMetrics) jobTimedOut() { m.timeouts.Add(1) }
 
-func (m *serverMetrics) jobFailed() {
-	m.mu.Lock()
-	m.failed++
-	m.mu.Unlock()
-}
+func (m *serverMetrics) jobFailed() { m.failed.Add(1) }
 
-func (m *serverMetrics) workerBusy(delta int) {
-	m.mu.Lock()
-	m.busy += delta
-	m.mu.Unlock()
-}
+func (m *serverMetrics) workerBusy(delta int) { m.busy.Add(int64(delta)) }
 
-func (m *serverMetrics) busyWorkers() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.busy
-}
+func (m *serverMetrics) busyWorkers() int { return int(m.busy.Load()) }
 
-// observe records one endpoint latency in milliseconds.
+// observe records one endpoint latency in milliseconds, in both the
+// window ring and the lifetime histogram.
 func (m *serverMetrics) observe(endpoint string, ms float64) {
 	m.mu.Lock()
-	r := m.latencies[endpoint]
-	if r == nil {
-		r = &latRing{}
-		m.latencies[endpoint] = r
+	e := m.latencies[endpoint]
+	if e == nil {
+		e = &endpointLat{hist: obs.NewHistogram(obs.DefaultLatencyBucketsMs()...)}
+		m.latencies[endpoint] = e
 	}
-	r.add(ms)
+	e.ring.add(ms)
 	m.mu.Unlock()
+	e.hist.Observe(ms)
 }
 
 // JobCounters is the job-lifecycle section of /metrics.
@@ -121,31 +119,52 @@ type JobCounters struct {
 	Failed    int `json:"failed"`
 }
 
-// snapshot returns the counters and per-endpoint latency summaries.
+// counters reads the job-lifecycle counters. Each counter is itself
+// exact; the set is read without a barrier, which is the usual
+// monotone-scrape consistency metrics endpoints provide.
+func (m *serverMetrics) counters() JobCounters {
+	return JobCounters{
+		Accepted:  int(m.accepted.Load()),
+		Completed: int(m.completed.Load()),
+		Rejected:  int(m.rejected.Load()),
+		Timeouts:  int(m.timeouts.Load()),
+		Failed:    int(m.failed.Load()),
+	}
+}
+
+// snapshot returns the counters, busy gauge and per-endpoint latency
+// summaries — the one consistent read path both /metrics encodings use.
 func (m *serverMetrics) snapshot() (JobCounters, int, map[string]LatencySummary) {
+	jc := m.counters()
+	busy := m.busyWorkers()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	jc := JobCounters{
-		Accepted:  m.accepted,
-		Completed: m.completed,
-		Rejected:  m.rejected,
-		Timeouts:  m.timeouts,
-		Failed:    m.failed,
-	}
 	lat := make(map[string]LatencySummary, len(m.latencies))
-	for ep, r := range m.latencies {
-		if len(r.buf) == 0 {
+	for ep, e := range m.latencies {
+		if len(e.ring.buf) == 0 {
 			continue
 		}
-		s := stats.Summarize(r.buf)
+		s := stats.Summarize(e.ring.buf)
 		lat[ep] = LatencySummary{
-			Count:  r.count,
-			MeanMs: s.Mean,
-			P50Ms:  s.Median,
-			P90Ms:  s.P90,
-			P95Ms:  s.P95,
-			MaxMs:  s.Max,
+			Count:       e.ring.count,
+			WindowCount: len(e.ring.buf),
+			MeanMs:      s.Mean,
+			P50Ms:       s.Median,
+			P90Ms:       s.P90,
+			P95Ms:       s.P95,
+			MaxMs:       s.Max,
 		}
 	}
-	return jc, m.busy, lat
+	return jc, busy, lat
+}
+
+// histograms returns each endpoint's lifetime latency histogram.
+func (m *serverMetrics) histograms() map[string]obs.HistogramSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]obs.HistogramSnapshot, len(m.latencies))
+	for ep, e := range m.latencies {
+		out[ep] = e.hist.Snapshot()
+	}
+	return out
 }

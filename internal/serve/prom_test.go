@@ -1,0 +1,139 @@
+package serve_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"luxvis/internal/serve"
+)
+
+// getProm scrapes /metrics with the Prometheus Accept header.
+func getProm(t *testing.T, ts *httptest.Server) (string, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+var promLine = regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+)$`)
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 2})
+	// A run first, so engine totals and latency histograms are non-empty.
+	if code := getJSON(t, ts.URL+"/v1/run?n=12&seed=3&scheduler=async-rr", nil); code != http.StatusOK {
+		t.Fatalf("/v1/run status %d", code)
+	}
+
+	// Default Accept: the JSON snapshot, exactly as before.
+	m := metricsSnapshot(t, ts)
+	if m.Jobs.Completed != 1 {
+		t.Errorf("JSON snapshot jobs: %+v", m.Jobs)
+	}
+	lat, ok := m.LatencyMs["/v1/run"]
+	if !ok {
+		t.Fatalf("JSON snapshot missing /v1/run latency: %v", m.LatencyMs)
+	}
+	if lat.Count != 1 || lat.WindowCount != 1 {
+		t.Errorf("latency Count=%d WindowCount=%d, want 1/1", lat.Count, lat.WindowCount)
+	}
+
+	// Prometheus Accept: the text exposition.
+	body, ct := getProm(t, ts)
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+	for _, want := range []string{
+		"visserve_jobs_completed_total 1",
+		"visserve_workers_total 2",
+		"visserve_cache_misses_total 1",
+		`visserve_request_duration_ms_count{endpoint="/v1/run"} 1`,
+		`visserve_request_duration_ms_bucket{endpoint="/v1/run",le="+Inf"} 1`,
+		"luxvis_engine_runs_started_total 1",
+		"luxvis_engine_cv_reached_total 1",
+		`luxvis_engine_phase_cycles_total{phase="interior-depletion"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestConcurrentScrapes hammers both /metrics encodings while runs
+// execute; run under -race in CI to prove the atomic snapshot paths.
+func TestConcurrentScrapes(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			getJSON(t, ts.URL+"/v1/run?n=10&scheduler=async-rr&seed="+string(rune('1'+seed)), nil)
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				getProm(t, ts)
+			} else {
+				metricsSnapshot(t, ts)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestDebugHandler(t *testing.T) {
+	s, ts := newTestServer(t, serve.Options{Workers: 1})
+	if code := getJSON(t, ts.URL+"/v1/run?n=8&scheduler=async-rr&seed=2", nil); code != http.StatusOK {
+		t.Fatalf("/v1/run status %d", code)
+	}
+
+	ds := httptest.NewServer(s.DebugHandler())
+	defer ds.Close()
+
+	var runs serve.DebugRuns
+	if code := getJSON(t, ds.URL+"/debug/runs", &runs); code != http.StatusOK {
+		t.Fatalf("/debug/runs status %d", code)
+	}
+	if runs.Count != 0 || len(runs.Runs) != 0 {
+		t.Errorf("in-flight runs after completion: %+v", runs)
+	}
+
+	// pprof index answers on the debug listener.
+	resp, err := http.Get(ds.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}

@@ -9,8 +9,12 @@
 //
 //	GET/POST /v1/run         run one scenario, JSON summary
 //	POST     /v1/experiment  run one experiment table, text output
-//	GET      /healthz        liveness
-//	GET      /metrics        queue/worker/cache/latency snapshot
+//	GET      /healthz        liveness + build identity
+//	GET      /metrics        queue/worker/cache/latency snapshot (JSON),
+//	                         or Prometheus text when Accept: text/plain
+//
+// DebugHandler serves a second, operator-only handler (pprof and
+// /debug/runs) intended for a loopback listener.
 package serve
 
 import (
@@ -31,8 +35,10 @@ import (
 	"luxvis/internal/core"
 	"luxvis/internal/exp"
 	"luxvis/internal/model"
+	"luxvis/internal/obs"
 	"luxvis/internal/sched"
 	"luxvis/internal/sim"
+	"luxvis/internal/version"
 )
 
 // Options configures a Server. The zero value is usable: every field
@@ -81,6 +87,9 @@ type Server struct {
 	wg      sync.WaitGroup
 	cache   *lru
 	metrics *serverMetrics
+	totals  *obs.EngineTotals
+	runs    *runRegistry
+	started time.Time
 
 	mu sync.Mutex
 	// closed is guarded by mu: submissions and Close race on the queue
@@ -110,6 +119,9 @@ func New(opt Options) *Server {
 		queue:   make(chan *job, opt.QueueDepth),
 		cache:   newLRU(opt.CacheSize),
 		metrics: newServerMetrics(),
+		totals:  obs.NewEngineTotals(),
+		runs:    newRunRegistry(),
+		started: time.Now(),
 	}
 	s.wg.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
@@ -265,7 +277,11 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"version":       version.String(),
+		"uptimeSeconds": int64(time.Since(s.started).Seconds()),
+	})
 }
 
 // MetricsSnapshot is the /metrics response.
@@ -291,6 +307,13 @@ type WorkerStats struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Content negotiation: Prometheus scrapers ask for text/plain (or
+	// OpenMetrics); everyone else keeps getting the original JSON
+	// snapshot, byte-compatible with pre-Prometheus clients.
+	if wantsPrometheus(r) {
+		s.writePrometheus(w)
+		return
+	}
 	jobs, busy, lat := s.metrics.snapshot()
 	writeJSON(w, http.StatusOK, MetricsSnapshot{
 		Jobs:      jobs,
@@ -480,6 +503,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			}
 			opt.NonRigid = req.NonRigid
 			opt.SkipSafetyChecks = req.SkipChecks
+			// Lifetime engine totals for /metrics plus a per-run epoch
+			// tracker for /debug/runs; both are lock-free on the engine
+			// side.
+			entry := s.runs.add(req, string(fam))
+			defer s.runs.remove(entry.id)
+			opt.Observer = obs.Multi(s.totals, entry.observer())
 			res, err := sim.RunCtx(ctx, algo, pts, opt)
 			if err != nil {
 				return nil, err

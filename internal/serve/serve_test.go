@@ -56,12 +56,15 @@ func metricsSnapshot(t *testing.T, ts *httptest.Server) serve.MetricsSnapshot {
 
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t, serve.Options{Workers: 1})
-	var body map[string]string
+	var body map[string]any
 	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusOK {
 		t.Fatalf("/healthz status %d", code)
 	}
 	if body["status"] != "ok" {
 		t.Fatalf("/healthz body %v", body)
+	}
+	if v, ok := body["version"].(string); !ok || v == "" {
+		t.Fatalf("/healthz missing version: %v", body)
 	}
 }
 

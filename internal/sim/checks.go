@@ -60,15 +60,32 @@ func (e *engine) accountEpoch() {
 	if e.res.FirstCVEpoch < 0 && e.cvNow() {
 		e.res.FirstCVEpoch = e.epochs
 	}
-	if e.opt.SampleEpochs {
-		e.res.EpochSamples = append(e.res.EpochSamples, e.sampleEpoch())
+	// An attached observer gets the boundary sample even when the caller
+	// did not ask for EpochSamples in the Result; the hull classification
+	// is the price of observation, not of the benchmark path.
+	if e.opt.SampleEpochs || e.obs != nil {
+		smp := e.sampleEpoch()
+		if e.opt.SampleEpochs {
+			e.res.EpochSamples = append(e.res.EpochSamples, smp)
+		}
+		if e.obs != nil {
+			e.obs.EpochEnd(smp)
+		}
 	}
+	e.phaseEpoch = [NumPhases]int{}
+	e.phaseMoveEpoch = [NumPhases]int{}
 }
 
-// sampleEpoch aggregates the swarm's hull composition at an epoch
-// boundary.
+// sampleEpoch aggregates the swarm's hull composition and the finished
+// epoch's phase attribution at an epoch boundary.
 func (e *engine) sampleEpoch() EpochSample {
-	smp := EpochSample{Epoch: e.epochs, MovesSoFar: e.res.Moves, CV: e.cvNow()}
+	smp := EpochSample{
+		Epoch:      e.epochs,
+		MovesSoFar: e.res.Moves,
+		CV:         e.cvNow(),
+		Phases:     e.phaseEpoch,
+		PhaseMoves: e.phaseMoveEpoch,
+	}
 	h := geom.ConvexHull(e.pos)
 	for _, p := range e.pos {
 		switch h.Classify(p) {

@@ -50,6 +50,12 @@ type Options struct {
 	// Result — the convergence dynamics (hull composition and movement
 	// per epoch) behind the F7 figure.
 	SampleEpochs bool
+	// Observer, when non-nil, receives engine callbacks while the run
+	// executes (see the Observer interface). A nil Observer is the
+	// benchmark path: disabled observation costs one branch per event.
+	// With an Observer attached, epoch-boundary samples are computed
+	// even when SampleEpochs is false (they feed EpochEnd).
+	Observer Observer
 }
 
 // DefaultOptions returns Options with the given scheduler and seed and
@@ -102,6 +108,13 @@ type EpochSample struct {
 	MovesSoFar int
 	// CV reports whether Complete Visibility held at the boundary.
 	CV bool
+	// Phases counts the LCM cycles completed during this epoch (since
+	// the previous boundary), bucketed by phase attribution — the
+	// per-epoch decomposition of where the run's work went.
+	Phases [NumPhases]int
+	// PhaseMoves counts the subset of those cycles that relocated the
+	// robot; PhaseMoves[PhaseInterior] is the epoch's BDCP flights.
+	PhaseMoves [NumPhases]int
 }
 
 // TraceEvent is one recorded engine event (only with RecordTrace).
@@ -145,6 +158,14 @@ type Result struct {
 	// ColorsUsed is the number of distinct colors ever shown.
 	ColorsUsed int
 
+	// PhaseCycles buckets every completed LCM cycle by phase
+	// attribution (see PhaseOf); the counters sum to Cycles for runs
+	// that end on cycle boundaries.
+	PhaseCycles [NumPhases]int
+	// PhaseMoves buckets the cycles with non-zero displacement; the
+	// counters sum to Moves.
+	PhaseMoves [NumPhases]int
+
 	Collisions    int
 	PathCrossings int
 	Violations    []Violation
@@ -184,6 +205,8 @@ type engine struct {
 	algo model.Algorithm
 	opt  Options
 	rng  *rand.Rand
+	// obs is Options.Observer, hoisted for the per-event nil check.
+	obs Observer
 
 	// ctx is polled at epoch boundaries only (see loop); ctxErr records
 	// the cancellation cause when the run was aborted early.
@@ -210,6 +233,10 @@ type engine struct {
 
 	epochBase []int
 	epochs    int
+	// phaseEpoch and phaseMoveEpoch accumulate the current epoch's
+	// per-phase cycle and move counts; reset at each boundary.
+	phaseEpoch     [NumPhases]int
+	phaseMoveEpoch [NumPhases]int
 
 	cvCacheAt  int // lastChange value the cache refers to, -1 = invalid
 	cvCacheVal bool
@@ -297,6 +324,7 @@ func RunCtx(ctx context.Context, algo model.Algorithm, start []geom.Point, opt O
 		algo:          algo,
 		ctx:           ctx,
 		opt:           opt,
+		obs:           opt.Observer,
 		rng:           rand.New(rand.NewSource(opt.Seed)),
 		pos:           append([]geom.Point(nil), start...),
 		col:           make([]model.Color, n),
@@ -334,6 +362,9 @@ func RunCtx(ctx context.Context, algo model.Algorithm, start []geom.Point, opt O
 		e.idx = grid.NewFor(e.pos)
 	}
 
+	if e.obs != nil {
+		e.obs.RunStart(RunInfo{Algorithm: e.res.Algorithm, Scheduler: e.res.Scheduler, N: n, Seed: opt.Seed})
+	}
 	// A context that is already dead aborts before the first event (the
 	// first epoch of a large swarm is itself expensive).
 	if err := ctx.Err(); err != nil {
@@ -342,6 +373,9 @@ func RunCtx(ctx context.Context, algo model.Algorithm, start []geom.Point, opt O
 		e.loop()
 	}
 	e.finish()
+	if e.obs != nil {
+		e.obs.RunEnd(&e.res, e.ctxErr)
+	}
 	if e.ctxErr != nil {
 		return e.res, fmt.Errorf("sim: run aborted after %d epochs (%d events): %w",
 			e.res.Epochs, e.res.Events, e.ctxErr)
@@ -424,7 +458,7 @@ func (e *engine) doCompute(r int) {
 	}
 	e.trace(r, "compute")
 	if a.IsStay(e.pos[r]) {
-		e.completeCycle(r)
+		e.completeCycle(r, false)
 		return
 	}
 	target := a.Target
@@ -491,20 +525,34 @@ func (e *engine) doMoveStep(r int) {
 			})
 			e.pruneRecentMoves()
 		}
-		e.completeCycle(r)
+		if e.obs != nil {
+			e.obs.MoveEnd(MoveInfo{Event: e.now, Robot: r, From: p.from, To: p.target, Dist: d})
+		}
+		e.completeCycle(r, true)
 	}
 }
 
-// completeCycle finishes robot r's LCM cycle.
-func (e *engine) completeCycle(r int) {
+// completeCycle finishes robot r's LCM cycle and attributes it to an
+// algorithm phase via the light the cycle published.
+func (e *engine) completeCycle(r int, moved bool) {
 	e.st[r].Stage = sched.Idle
 	e.st[r].StepsLeft = 0
 	e.st[r].Cycles++
 	e.res.Cycles++
+	ph := PhaseOf(e.col[r])
+	e.res.PhaseCycles[ph]++
+	e.phaseEpoch[ph]++
+	if moved {
+		e.res.PhaseMoves[ph]++
+		e.phaseMoveEpoch[ph]++
+	}
 	// Remember when the completed cycle's snapshot was taken: quiescence
 	// requires every robot to have completed a cycle whose Look happened
 	// after the last world change.
 	e.lastCleanLook[r] = e.snapLook[r]
+	if e.obs != nil {
+		e.obs.CycleEnd(CycleInfo{Event: e.now, Robot: r, Phase: ph, Moved: moved})
+	}
 }
 
 // violate records a safety violation.
@@ -517,6 +565,9 @@ func (e *engine) violate(kind ViolationKind, a, b int, detail string) {
 	case VPathCross:
 		e.res.PathCrossings++
 	}
+	if e.obs != nil {
+		e.obs.ViolationFound(v)
+	}
 }
 
 // noteChange marks the world as changed at the current event.
@@ -524,8 +575,13 @@ func (e *engine) noteChange() {
 	e.lastChange = e.now
 }
 
-// trace records a trace event when enabled.
+// trace records a trace event when enabled and feeds the observer's
+// event stream. Both branches are the disabled fast path: a run with no
+// observer and no trace pays two predictable not-taken branches.
 func (e *engine) trace(r int, kind string) {
+	if e.obs != nil {
+		e.obs.Event(TraceEvent{Event: e.now, Robot: r, Kind: kind, Pos: e.pos[r], Color: e.col[r]})
+	}
 	if !e.opt.RecordTrace {
 		return
 	}

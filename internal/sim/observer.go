@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"luxvis/internal/geom"
+	"luxvis/internal/model"
+)
+
+// Phase classifies which algorithm phase a completed LCM cycle executed,
+// derived from the light the cycle published. The classification is the
+// paper's phase structure: Interior Depletion (interior robots flying to
+// BDCP landing slots), Edge Depletion (hull-edge robots bulging outward
+// into strict corners), and the corner anchor (corners hold position and
+// eventually turn Done). It is what lets the O(log N) epoch bound be
+// decomposed empirically: per-epoch phase counters show which phase each
+// epoch's work went to.
+type Phase uint8
+
+// The phase buckets, in display order.
+const (
+	// PhaseOther covers cycles published with a pre-classification light
+	// (Off, Line): the collinear-breakout prologue and robots that have
+	// not yet classified themselves.
+	PhaseOther Phase = iota
+	// PhaseInterior is Interior Depletion: cycles published with the
+	// Interior light (waiting for a usable slot) or the Transit light
+	// (a BDCP approach hop or landing flight).
+	PhaseInterior
+	// PhaseEdge is Edge Depletion: cycles published with the Side light
+	// (waiting out landing traffic) or the Beacon light (the outward
+	// bulge that turns an edge robot into a strict corner).
+	PhaseEdge
+	// PhaseCorner is the corner anchor: cycles published with the Corner
+	// or Done light. Corners never move; their cycles are the stationary
+	// re-confirmations the termination predicate needs.
+	PhaseCorner
+
+	// NumPhases is the number of phase buckets.
+	NumPhases = 4
+)
+
+var phaseNames = [NumPhases]string{"other", "interior-depletion", "edge-depletion", "corner"}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "phase(?)"
+}
+
+// AllPhases returns the phase buckets in declaration order.
+func AllPhases() []Phase {
+	return []Phase{PhaseOther, PhaseInterior, PhaseEdge, PhaseCorner}
+}
+
+// PhaseOf classifies a completed cycle from the light it published.
+func PhaseOf(c model.Color) Phase {
+	switch c {
+	case model.Interior, model.Transit:
+		return PhaseInterior
+	case model.Side, model.Beacon:
+		return PhaseEdge
+	case model.Corner, model.Done:
+		return PhaseCorner
+	default:
+		return PhaseOther
+	}
+}
+
+// RunInfo identifies a run to an Observer before any event fires.
+type RunInfo struct {
+	Algorithm string
+	Scheduler string
+	N         int
+	Seed      int64
+}
+
+// CycleInfo describes one completed LCM cycle.
+type CycleInfo struct {
+	// Event is the engine event index at which the cycle completed.
+	Event int
+	Robot int
+	// Phase is the phase attribution of the cycle (see PhaseOf).
+	Phase Phase
+	// Moved reports whether the cycle relocated the robot.
+	Moved bool
+}
+
+// MoveInfo describes one completed relocation.
+type MoveInfo struct {
+	// Event is the engine event index at which the move completed.
+	Event    int
+	Robot    int
+	From, To geom.Point
+	Dist     float64
+}
+
+// Observer receives engine callbacks while a run executes. Set one via
+// Options.Observer; a nil Observer costs a single predictable branch per
+// event (the benchmark guard in bench_test.go holds the engine to that).
+//
+// Callbacks run synchronously on the engine goroutine, in deterministic
+// event order, and must not mutate anything they are handed (EpochSample
+// is a copy; Result in RunEnd is the live result — read-only). A slow
+// Observer slows the run; implementations that do I/O should buffer.
+// internal/obs provides ready-made implementations (flight recorder,
+// phase tallies, Prometheus totals, JSONL telemetry) and combinators.
+//
+// The concurrent runtime (internal/rt) drives the same interface from
+// many robot goroutines at once and never emits Event, MoveEnd or
+// ViolationFound — see rt.Options.Observer for its contract.
+type Observer interface {
+	// RunStart fires once, after input validation, before any event.
+	RunStart(info RunInfo)
+	// Event fires for every engine micro-event (look, compute, step) —
+	// the same stream Options.RecordTrace retains.
+	Event(ev TraceEvent)
+	// CycleEnd fires when a robot completes an LCM cycle.
+	CycleEnd(c CycleInfo)
+	// MoveEnd fires when a relocation reaches its target.
+	MoveEnd(m MoveInfo)
+	// EpochEnd fires at each epoch boundary with the boundary sample
+	// (including per-phase cycle counts for the finished epoch).
+	EpochEnd(s EpochSample)
+	// ViolationFound fires for each detected safety violation, before
+	// the violating event is recorded in the trace stream.
+	ViolationFound(v Violation)
+	// RunEnd fires once, after the Result is final. aborted is non-nil
+	// when the run was cancelled by its context; res must be treated as
+	// read-only.
+	RunEnd(res *Result, aborted error)
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"luxvis/internal/geom"
+	"luxvis/internal/model"
+	"luxvis/internal/sched"
+)
+
+// countingObserver records every callback for assertion.
+type countingObserver struct {
+	starts     int
+	info       RunInfo
+	events     int
+	cycles     int
+	cycleMoves int
+	phases     [NumPhases]int
+	moves      int
+	epochs     []EpochSample
+	violations []Violation
+	ends       int
+	endErr     error
+	endResult  *Result
+}
+
+func (c *countingObserver) RunStart(info RunInfo) { c.starts++; c.info = info }
+func (c *countingObserver) Event(TraceEvent)      { c.events++ }
+func (c *countingObserver) CycleEnd(ci CycleInfo) {
+	c.cycles++
+	c.phases[ci.Phase]++
+	if ci.Moved {
+		c.cycleMoves++
+	}
+}
+func (c *countingObserver) MoveEnd(MoveInfo)           { c.moves++ }
+func (c *countingObserver) EpochEnd(s EpochSample)     { c.epochs = append(c.epochs, s) }
+func (c *countingObserver) ViolationFound(v Violation) { c.violations = append(c.violations, v) }
+func (c *countingObserver) RunEnd(res *Result, aborted error) {
+	c.ends++
+	c.endResult = res
+	c.endErr = aborted
+}
+
+func TestObserverCallbackCounts(t *testing.T) {
+	pts := []geom.Point{geom.Pt(10, 0), geom.Pt(0, 10), geom.Pt(-10, 0), geom.Pt(0, -10)}
+	obs := &countingObserver{}
+	opt := DefaultOptions(sched.NewFSync(), 3)
+	opt.MaxEpochs = 8
+	opt.Observer = obs
+	res := run(t, spinAlgo{}, pts, opt)
+
+	if obs.starts != 1 || obs.ends != 1 {
+		t.Fatalf("RunStart=%d RunEnd=%d, want 1/1", obs.starts, obs.ends)
+	}
+	want := RunInfo{Algorithm: "spin", Scheduler: res.Scheduler, N: 4, Seed: 3}
+	if obs.info != want {
+		t.Errorf("RunInfo = %+v, want %+v", obs.info, want)
+	}
+	if obs.endResult == nil || obs.endResult.Epochs != res.Epochs {
+		t.Errorf("RunEnd result mismatch: %+v", obs.endResult)
+	}
+	if obs.endErr != nil {
+		t.Errorf("RunEnd aborted = %v on a normal run", obs.endErr)
+	}
+	if obs.events != res.Events {
+		t.Errorf("Event callbacks = %d, Result.Events = %d", obs.events, res.Events)
+	}
+	if obs.cycles != res.Cycles {
+		t.Errorf("CycleEnd callbacks = %d, Result.Cycles = %d", obs.cycles, res.Cycles)
+	}
+	if obs.moves != res.Moves || obs.cycleMoves != res.Moves {
+		t.Errorf("MoveEnd=%d cycleMoves=%d, Result.Moves=%d", obs.moves, obs.cycleMoves, res.Moves)
+	}
+	if len(obs.epochs) != res.Epochs {
+		t.Errorf("EpochEnd callbacks = %d, Result.Epochs = %d", len(obs.epochs), res.Epochs)
+	}
+	for i, s := range obs.epochs {
+		if s.Epoch != i+1 {
+			t.Errorf("epoch sample %d has Epoch=%d", i, s.Epoch)
+		}
+	}
+}
+
+func TestPhaseAttributionSums(t *testing.T) {
+	pts := []geom.Point{geom.Pt(10, 0), geom.Pt(0, 10), geom.Pt(-10, 0), geom.Pt(0, -10)}
+	obs := &countingObserver{}
+	opt := DefaultOptions(sched.NewAsyncRandom(), 7)
+	opt.MaxEpochs = 8
+	opt.Observer = obs
+	res := run(t, spinAlgo{}, pts, opt)
+
+	sumCycles, sumMoves := 0, 0
+	for _, p := range AllPhases() {
+		sumCycles += res.PhaseCycles[p]
+		sumMoves += res.PhaseMoves[p]
+	}
+	if sumCycles != res.Cycles {
+		t.Errorf("sum(PhaseCycles) = %d, Cycles = %d", sumCycles, res.Cycles)
+	}
+	if sumMoves != res.Moves {
+		t.Errorf("sum(PhaseMoves) = %d, Moves = %d", sumMoves, res.Moves)
+	}
+	if obs.phases != res.PhaseCycles {
+		t.Errorf("observer phases %v != Result.PhaseCycles %v", obs.phases, res.PhaseCycles)
+	}
+	// Per-epoch phase counts cover every cycle completed before the last
+	// epoch boundary; the tail of the run (after it) is uncounted.
+	epochSum := 0
+	for _, s := range obs.epochs {
+		for _, p := range AllPhases() {
+			epochSum += s.Phases[p]
+		}
+	}
+	if epochSum > res.Cycles {
+		t.Errorf("epoch phase counts %d exceed total cycles %d", epochSum, res.Cycles)
+	}
+	// spinAlgo shows only Off, so all attribution lands in PhaseOther.
+	if res.PhaseCycles[PhaseOther] != res.Cycles {
+		t.Errorf("Off-palette run attributed outside PhaseOther: %v", res.PhaseCycles)
+	}
+}
+
+func TestObserverEpochSamplesWithoutSampleEpochs(t *testing.T) {
+	pts := []geom.Point{geom.Pt(10, 0), geom.Pt(0, 10), geom.Pt(-10, 0)}
+	obs := &countingObserver{}
+	opt := DefaultOptions(sched.NewFSync(), 1)
+	opt.MaxEpochs = 4
+	opt.Observer = obs
+	res := run(t, spinAlgo{}, pts, opt)
+
+	if len(obs.epochs) == 0 {
+		t.Fatal("observer got no epoch samples")
+	}
+	if len(res.EpochSamples) != 0 {
+		t.Errorf("Result.EpochSamples populated (%d) without SampleEpochs", len(res.EpochSamples))
+	}
+	// The observer samples must still carry the hull partition.
+	s := obs.epochs[0]
+	if s.Corners+s.EdgeRobots+s.Interior != len(pts) {
+		t.Errorf("epoch sample partition %d+%d+%d != n=%d",
+			s.Corners, s.EdgeRobots, s.Interior, len(pts))
+	}
+}
+
+func TestObserverDoesNotPerturbRun(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(3, 7), geom.Pt(8, 4)}
+	opt := DefaultOptions(sched.NewAsyncRandom(), 11)
+	opt.MaxEpochs = 16
+	plain := run(t, spinAlgo{}, pts, opt)
+
+	opt.Observer = &countingObserver{}
+	observed := run(t, spinAlgo{}, pts, opt)
+
+	if plain.Epochs != observed.Epochs || plain.Events != observed.Events ||
+		plain.Cycles != observed.Cycles || plain.Moves != observed.Moves {
+		t.Errorf("observer changed the run: %+v vs %+v", plain, observed)
+	}
+	for i := range plain.Final {
+		if plain.Final[i] != observed.Final[i] {
+			t.Fatalf("final position %d differs with observer", i)
+		}
+	}
+}
+
+func TestObserverViolationCallback(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}
+	obs := &countingObserver{}
+	opt := DefaultOptions(sched.NewFSync(), 1)
+	opt.MaxEpochs = 2
+	opt.Observer = obs
+	res := run(t, badColorAlgo{}, pts, opt)
+
+	if len(res.Violations) == 0 {
+		t.Fatal("expected palette violations")
+	}
+	if len(obs.violations) != len(res.Violations) {
+		t.Errorf("observer saw %d violations, Result has %d",
+			len(obs.violations), len(res.Violations))
+	}
+	if obs.violations[0].Kind != VPalette {
+		t.Errorf("violation kind = %q, want %q", obs.violations[0].Kind, VPalette)
+	}
+}
+
+func TestObserverRunEndAborted(t *testing.T) {
+	pts := []geom.Point{geom.Pt(10, 0), geom.Pt(0, 10), geom.Pt(-10, 0)}
+	obs := &countingObserver{}
+	opt := DefaultOptions(sched.NewFSync(), 1)
+	opt.Observer = obs
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, spinAlgo{}, pts, opt); err == nil {
+		t.Fatal("pre-cancelled run returned nil error")
+	}
+	if obs.ends != 1 {
+		t.Fatalf("RunEnd calls = %d", obs.ends)
+	}
+	if obs.endErr == nil {
+		t.Error("RunEnd aborted error is nil for a cancelled run")
+	}
+}
+
+func TestPhaseOfMapping(t *testing.T) {
+	cases := []struct {
+		c model.Color
+		p Phase
+	}{
+		{model.Interior, PhaseInterior},
+		{model.Transit, PhaseInterior},
+		{model.Side, PhaseEdge},
+		{model.Beacon, PhaseEdge},
+		{model.Corner, PhaseCorner},
+		{model.Done, PhaseCorner},
+		{model.Off, PhaseOther},
+		{model.Line, PhaseOther},
+	}
+	for _, tc := range cases {
+		if got := PhaseOf(tc.c); got != tc.p {
+			t.Errorf("PhaseOf(%v) = %v, want %v", tc.c, got, tc.p)
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range AllPhases() {
+		if seen[p.String()] {
+			t.Errorf("duplicate phase name %q", p)
+		}
+		seen[p.String()] = true
+	}
+}

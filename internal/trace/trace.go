@@ -27,6 +27,10 @@ type Header struct {
 	Epochs    int    `json:"epochs"`
 	Events    int    `json:"events"`
 	Reached   bool   `json:"reached"`
+	// Note carries free-form provenance for partial streams — the
+	// flight recorder stamps its dump reason here. Empty (and absent
+	// from the JSON) for full RecordTrace traces.
+	Note string `json:"note,omitempty"`
 }
 
 // Event is one engine event in a JSONL trace stream.
@@ -39,13 +43,9 @@ type Event struct {
 	Color string  `json:"color"`
 }
 
-// WriteJSONL writes a run (header plus recorded events) as JSON lines.
-// The result must have been produced with Options.RecordTrace, otherwise
-// only the header is emitted.
-func WriteJSONL(w io.Writer, res sim.Result) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	h := Header{
+// HeaderOf builds the trace header for a completed run.
+func HeaderOf(res sim.Result) Header {
+	return Header{
 		Kind:      "header",
 		Algorithm: res.Algorithm,
 		Scheduler: res.Scheduler,
@@ -55,11 +55,13 @@ func WriteJSONL(w io.Writer, res sim.Result) error {
 		Events:    res.Events,
 		Reached:   res.Reached,
 	}
-	if err := enc.Encode(h); err != nil {
-		return fmt.Errorf("trace: encoding header: %w", err)
-	}
-	for _, e := range res.Trace {
-		ev := Event{
+}
+
+// ConvertEvents maps engine trace events to their wire encoding.
+func ConvertEvents(evs []sim.TraceEvent) []Event {
+	out := make([]Event, len(evs))
+	for i, e := range evs {
+		out[i] = Event{
 			Kind:  e.Kind,
 			Event: e.Event,
 			Robot: e.Robot,
@@ -67,11 +69,33 @@ func WriteJSONL(w io.Writer, res sim.Result) error {
 			Y:     e.Pos.Y,
 			Color: e.Color.String(),
 		}
+	}
+	return out
+}
+
+// Encode writes a header and events as JSON lines. It is the one
+// encoding of the trace stream: RecordTrace dumps (WriteJSONL) and
+// flight-recorder dumps (internal/obs) both go through it, which is what
+// makes their event lines byte-comparable.
+func Encode(w io.Writer, h Header, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("trace: encoding header: %w", err)
+	}
+	for _, ev := range events {
 		if err := enc.Encode(ev); err != nil {
-			return fmt.Errorf("trace: encoding event %d: %w", e.Event, err)
+			return fmt.Errorf("trace: encoding event %d: %w", ev.Event, err)
 		}
 	}
 	return bw.Flush()
+}
+
+// WriteJSONL writes a run (header plus recorded events) as JSON lines.
+// The result must have been produced with Options.RecordTrace, otherwise
+// only the header is emitted.
+func WriteJSONL(w io.Writer, res sim.Result) error {
+	return Encode(w, HeaderOf(res), ConvertEvents(res.Trace))
 }
 
 // ReadJSONL parses a JSONL trace stream back into a header and events.

@@ -1,0 +1,59 @@
+// Package version derives a build identity string from the binary's
+// embedded Go build info: module version, VCS revision and dirty bit.
+// Every cmd binary prints it under -version, and visserve reports it in
+// /healthz, so a scrape or a bug report pins the exact build without a
+// linker-flag injection step.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Revision returns the VCS revision baked into the build info, with its
+// local-modifications bit. ok is false when the binary was built without
+// VCS stamping (e.g. `go test`, or a build outside a checkout).
+func Revision() (rev string, dirty bool, ok bool) {
+	bi, found := debug.ReadBuildInfo()
+	if !found {
+		return "", false, false
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			ok = true
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return rev, dirty, ok
+}
+
+// String renders the full build identity, e.g.
+// "luxvis (devel) rev 1a2b3c4d+dirty go1.22.1". Fields that the build
+// did not stamp are omitted.
+func String() string {
+	mod, ver := "luxvis", "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			mod = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			ver = bi.Main.Version
+		}
+	}
+	s := fmt.Sprintf("%s %s", mod, ver)
+	if rev, dirty, ok := Revision(); ok {
+		short := rev
+		if len(short) > 12 {
+			short = short[:12]
+		}
+		s += " rev " + short
+		if dirty {
+			s += "+dirty"
+		}
+	}
+	return s + " " + runtime.Version()
+}

@@ -1,0 +1,29 @@
+package version
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestStringIsPopulated(t *testing.T) {
+	s := String()
+	if !strings.HasPrefix(s, "luxvis") {
+		t.Errorf("String() = %q, want luxvis prefix", s)
+	}
+	if !strings.Contains(s, runtime.Version()) {
+		t.Errorf("String() = %q, want embedded go version %q", s, runtime.Version())
+	}
+}
+
+func TestRevisionConsistency(t *testing.T) {
+	rev, dirty, ok := Revision()
+	if !ok && (rev != "" || dirty) {
+		t.Errorf("Revision() = (%q, %v, %v): rev/dirty must be zero when not ok", rev, dirty, ok)
+	}
+	// Under `go test` the binary usually has build info but no VCS
+	// stamp; either way String must not panic and must stay stable.
+	if String() != String() {
+		t.Error("String() is not stable across calls")
+	}
+}

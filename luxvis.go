@@ -37,6 +37,7 @@ package luxvis
 
 import (
 	"context"
+	"io"
 
 	"luxvis/internal/baseline"
 	"luxvis/internal/circlevis"
@@ -45,6 +46,7 @@ import (
 	"luxvis/internal/exact"
 	"luxvis/internal/geom"
 	"luxvis/internal/model"
+	"luxvis/internal/obs"
 	"luxvis/internal/rt"
 	"luxvis/internal/sched"
 	"luxvis/internal/sim"
@@ -202,6 +204,68 @@ func RunConcurrent(algo Algorithm, start []Point, opt ConcurrentOptions) (Concur
 func RunConcurrentCtx(ctx context.Context, algo Algorithm, start []Point, opt ConcurrentOptions) (ConcurrentResult, error) {
 	return rt.RunCtx(ctx, algo, start, opt)
 }
+
+// ---------------------------------------------------------------------
+// Observability
+
+// Observer receives engine callbacks during a run; set Options.Observer.
+// A nil observer costs nothing on the simulation hot path.
+type Observer = sim.Observer
+
+// RunInfo identifies a run at Observer.RunStart.
+type RunInfo = sim.RunInfo
+
+// CycleInfo describes one completed LCM cycle.
+type CycleInfo = sim.CycleInfo
+
+// MoveInfo describes one completed relocation.
+type MoveInfo = sim.MoveInfo
+
+// EpochSample is one epoch-boundary progress sample.
+type EpochSample = sim.EpochSample
+
+// Phase is an algorithm-phase attribution bucket.
+type Phase = sim.Phase
+
+// The phase attribution buckets.
+const (
+	PhaseOther    = sim.PhaseOther
+	PhaseInterior = sim.PhaseInterior
+	PhaseEdge     = sim.PhaseEdge
+	PhaseCorner   = sim.PhaseCorner
+)
+
+// PhaseOf maps a robot light color to its phase attribution.
+func PhaseOf(c Color) Phase { return sim.PhaseOf(c) }
+
+// ObserverFuncs adapts a sparse set of callback functions to Observer;
+// nil fields are no-ops.
+type ObserverFuncs = obs.Funcs
+
+// MultiObserver combines observers into one; nil members are dropped and
+// zero remaining observers yield nil (preserving the engine fast path).
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
+
+// FlightRecorder keeps the last K engine events and dumps a JSONL
+// snapshot on the first violation or an aborted run.
+type FlightRecorder = obs.FlightRecorder
+
+// NewFlightRecorder returns a FlightRecorder retaining k events (k <= 0
+// selects the default) that dumps to sink.
+func NewFlightRecorder(k int, sink io.Writer) *FlightRecorder { return obs.NewFlightRecorder(k, sink) }
+
+// EngineTotals accumulates lifetime engine counters across runs with
+// lock-free atomics; attach it to many runs' Options.Observer.
+type EngineTotals = obs.EngineTotals
+
+// NewEngineTotals returns a zeroed accumulator.
+func NewEngineTotals() *EngineTotals { return obs.NewEngineTotals() }
+
+// TelemetryWriter streams epoch-granular run telemetry as JSONL.
+type TelemetryWriter = obs.TelemetryWriter
+
+// NewTelemetryWriter returns a TelemetryWriter emitting to w.
+func NewTelemetryWriter(w io.Writer) *TelemetryWriter { return obs.NewTelemetryWriter(w) }
 
 // ---------------------------------------------------------------------
 // Workloads
