@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint vet race bench-smoke fuzz-smoke check
+.PHONY: build test lint lint-clean vet race bench-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,17 @@ test:
 	$(GO) test ./...
 
 ## lint: run the domain-aware static analysis suite (see DESIGN.md,
-## "Static invariants"). Fails on any error-severity finding.
+## "Static invariants"). Fails on any error-severity finding. Runs are
+## incremental — per-package results are cached by content hash under
+## os.UserCacheDir()/luxvis-vislint.
 lint:
 	$(GO) run ./cmd/vislint ./...
+
+## lint-clean: bust the vislint result cache (use after suspecting a
+## stale cache; keys fold in toolchain and analyzer versions, so this
+## should rarely be needed).
+lint-clean:
+	$(GO) run ./cmd/vislint -clear-cache
 
 vet:
 	$(GO) vet ./...

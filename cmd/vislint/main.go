@@ -1,26 +1,35 @@
 // Command vislint is luxvis's domain-aware static analysis gate. It
 // type-checks the whole module with nothing but the standard library
 // and runs the internal/lint analyzer suite — floateq, palette,
-// mutexdiscipline, nondet, ctxcancel — each of which protects one of
-// the paper's invariants at build time (see DESIGN.md, "Static
-// invariants"). It prints findings as file:line:col with severity and
-// explanation, and exits 1 when any error-severity finding survives
-// the //lint:allow directives.
+// mutexdiscipline, nondet, ctxcancel, locksafe, atomicmix, errsink,
+// wireformat — each of which protects one of the paper's invariants at
+// build time (see DESIGN.md, "Static invariants"). It prints findings
+// as file:line:col with severity and explanation, and exits 1 when any
+// error-severity finding survives the //lint:allow directives.
 //
 // Usage:
 //
 //	go run ./cmd/vislint ./...
 //	go run ./cmd/vislint -list
 //	go run ./cmd/vislint -run floateq,nondet ./internal/sim
+//	go run ./cmd/vislint -format=sarif ./... > vislint.sarif
+//	go run ./cmd/vislint -format=github ./...   # CI annotations
 //
 // Package arguments narrow reporting to the matching directories; the
-// whole module is always loaded (analysis needs full type
+// whole module is always hashed and resolved (analysis needs full type
 // information), so ./... and no arguments are equivalent.
+//
+// Runs are incremental: per-package results are cached under
+// os.UserCacheDir()/luxvis-vislint, keyed by content hash of the
+// package and its module-local dependencies, so an unchanged package is
+// never re-type-checked or re-analyzed. -no-cache bypasses the cache
+// for one run; -clear-cache deletes it and exits.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,12 +42,16 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vislint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	runNames := fs.String("run", "", "comma-separated analyzer subset (default: all)")
 	quiet := fs.Bool("q", false, "print only the summary line")
+	format := fs.String("format", "text", "output format: text, github (Actions annotations) or sarif (SARIF 2.1.0)")
+	noCache := fs.Bool("no-cache", false, "bypass the result cache for this run")
+	clearCache := fs.Bool("clear-cache", false, "delete the result cache and exit")
+	workers := fs.Int("workers", 0, "max concurrent package analyses (0 = GOMAXPROCS)")
 	showVer := fs.Bool("version", false, "print build version and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: vislint [flags] [packages]\n\nFlags:\n")
@@ -58,6 +71,27 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stdout, "%-16s %s\n", a.Name(), a.Doc())
 		}
 		return 0
+	}
+
+	if *clearCache {
+		cache, err := lint.OpenCache()
+		if err != nil {
+			fmt.Fprintln(stderr, "vislint:", err)
+			return 2
+		}
+		if err := cache.Clear(); err != nil {
+			fmt.Fprintln(stderr, "vislint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "vislint: cleared cache at %s\n", cache.Dir())
+		return 0
+	}
+
+	switch *format {
+	case "text", "github", "sarif":
+	default:
+		fmt.Fprintf(stderr, "vislint: unknown -format %q (want text, github or sarif)\n", *format)
+		return 2
 	}
 
 	var names []string
@@ -80,47 +114,91 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "vislint:", err)
 		return 2
 	}
-	pkgs, err := lint.LoadModule(root)
+
+	cfg := lint.Config{Workers: *workers}
+	if !*noCache {
+		// A cache that cannot be opened (read-only HOME, no cache dir)
+		// must not fail the gate; the run just isn't incremental.
+		if cache, err := lint.OpenCache(); err == nil {
+			cfg.Cache = cache
+		}
+	}
+
+	result, err := lint.LintModule(root, analyzers, cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "vislint:", err)
 		return 2
 	}
-	pkgs = filterPackages(pkgs, root, cwd, fs.Args())
-	if len(pkgs) == 0 {
+
+	selected := filterPackages(result.Packages, root, cwd, fs.Args())
+	if len(selected) == 0 {
 		// A pattern that matches nothing is a typo'd path, and silently
 		// reporting "0 findings" on it would be a false green gate.
 		fmt.Fprintf(stderr, "vislint: no packages match %v\n", fs.Args())
 		return 2
 	}
 
-	findings := lint.Run(pkgs, analyzers)
+	var findings []lint.Finding
+	for _, p := range selected {
+		findings = append(findings, p.Findings...)
+	}
+
 	errs := 0
 	for _, f := range findings {
 		if f.Severity == lint.Error {
 			errs++
 		}
-		if !*quiet {
-			f.Pos.Filename = relPath(root, f.Pos.Filename)
-			fmt.Fprintln(stdout, f)
-		}
 	}
-	fmt.Fprintf(stdout, "vislint: %d package(s), %d finding(s), %d error(s)\n",
-		len(pkgs), len(findings), errs)
+
+	switch *format {
+	case "sarif":
+		// The document goes to stdout; the human summary to stderr so
+		// redirection captures clean SARIF.
+		if err := lint.WriteSARIF(stdout, root, analyzers, findings); err != nil {
+			fmt.Fprintln(stderr, "vislint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "vislint: %s\n", summary(result, len(selected), len(findings), errs))
+	case "github":
+		if err := lint.WriteGitHub(stdout, root, findings); err != nil {
+			fmt.Fprintln(stderr, "vislint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "vislint: %s\n", summary(result, len(selected), len(findings), errs))
+	default:
+		if !*quiet {
+			for _, f := range findings {
+				f.Pos.Filename = relPath(root, f.Pos.Filename)
+				fmt.Fprintln(stdout, f)
+			}
+		}
+		fmt.Fprintf(stdout, "vislint: %s\n", summary(result, len(selected), len(findings), errs))
+	}
 	if errs > 0 {
 		return 1
 	}
 	return 0
 }
 
-// filterPackages narrows the loaded set to the requested patterns.
+// summary renders the one-line run report, including cache statistics
+// when a cache was in play.
+func summary(result *lint.ModuleResult, pkgs, findings, errs int) string {
+	s := fmt.Sprintf("%d package(s), %d finding(s), %d error(s)", pkgs, findings, errs)
+	if result.CacheHits > 0 {
+		s += fmt.Sprintf(" [cache: %d hit(s), %d miss(es)]", result.CacheHits, result.CacheMisses)
+	}
+	return s
+}
+
+// filterPackages narrows the results to the requested patterns.
 // "./..." (or no patterns) keeps everything; "./internal/sim" or
 // "internal/sim" keeps that directory and, with a trailing "...", its
 // subtree. Patterns resolve relative to cwd.
-func filterPackages(pkgs []*lint.Package, root, cwd string, patterns []string) []*lint.Package {
+func filterPackages(pkgs []lint.PackageFindings, root, cwd string, patterns []string) []lint.PackageFindings {
 	if len(patterns) == 0 {
 		return pkgs
 	}
-	var keep []*lint.Package
+	var keep []lint.PackageFindings
 	for _, p := range pkgs {
 		for _, pat := range patterns {
 			if matchPattern(p.Dir, root, cwd, pat) {

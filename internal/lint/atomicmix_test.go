@@ -1,0 +1,78 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"luxvis/internal/lint"
+)
+
+const atomicmixFixture = `package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func read(c *counters) int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func swap(c *counters, v int64) int64 {
+	return atomic.SwapInt64(&c.hits, v)
+}
+
+func racyRead(c *counters) int64 {
+	return c.hits // want
+}
+
+func racyWrite(c *counters) {
+	c.hits = 0 // want
+}
+
+func plainOnlyFieldIsFine(c *counters) int64 {
+	c.total++
+	return c.total
+}
+
+func suppressed(c *counters) int64 {
+	//lint:allow atomicmix fixture exception with a reason
+	return c.hits
+}
+`
+
+func TestAtomicMix(t *testing.T) {
+	findings := runFixture(t, "luxvis/internal/fixture", atomicmixFixture, lint.AtomicMix{})
+	assertWants(t, atomicmixFixture, findingsOf(findings, "atomicmix"))
+	if bad := findingsOf(findings, "directive"); len(bad) != 0 {
+		t.Errorf("directive findings = %v; want none", bad)
+	}
+	// The message must point back at an atomic site so the reader can
+	// see why the field is special.
+	for _, f := range findingsOf(findings, "atomicmix") {
+		if !strings.Contains(f.Message, "sync/atomic at ") {
+			t.Errorf("finding does not cite the atomic site: %s", f)
+		}
+	}
+}
+
+// TestAtomicMixNoAtomics: a package that never touches sync/atomic gets
+// no findings no matter how it uses its fields.
+func TestAtomicMixNoAtomics(t *testing.T) {
+	src := `package fixture
+
+type c struct{ n int64 }
+
+func bump(x *c) { x.n++ }
+`
+	findings := runFixture(t, "luxvis/internal/fixture", src, lint.AtomicMix{})
+	if len(findings) != 0 {
+		t.Errorf("findings = %v; want none", findings)
+	}
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// cacheVersion invalidates every entry when the finding schema or any
+// analyzer's semantics change. Bump it in the same commit as the
+// behavior change.
+const cacheVersion = "vislint-cache-2"
+
+// Cache is the content-addressed result store behind incremental
+// `vislint ./...`: one JSON file per (package, analyzer set) whose name
+// is a hash of everything the result depends on. Entries are immutable
+// once written — a changed input is a different key, never an update —
+// so readers and writers need no coordination beyond atomic rename.
+type Cache struct {
+	dir string
+}
+
+// OpenCache returns the default user-level cache under
+// os.UserCacheDir()/luxvis-vislint, creating it if needed.
+func OpenCache() (*Cache, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return nil, fmt.Errorf("lint: no user cache dir: %w", err)
+	}
+	return NewCacheAt(filepath.Join(base, "luxvis-vislint"))
+}
+
+// NewCacheAt opens (creating if needed) a cache rooted at dir. Tests
+// use this with t.TempDir.
+func NewCacheAt(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// cacheKey derives the store key for one package's results. It folds in
+// everything the outcome depends on: the entry schema version, the Go
+// toolchain (analyzers lean on go/types behavior), the module root
+// (finding positions embed absolute paths), the package identity, the
+// package's combined content hash (own sources + transitive
+// module-local deps), and the analyzer set.
+func cacheKey(root, path, combined string, analyzers []Analyzer) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n%s\n%s\n%s\n", cacheVersion, runtime.Version(), root, path, combined)
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "analyzer %s\n", a.Name())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheEntry is the on-disk format.
+type cacheEntry struct {
+	Findings []Finding `json:"findings"`
+}
+
+// Get loads the findings stored under key. Any failure — absent entry,
+// unreadable file, corrupt JSON — is a miss.
+func (c *Cache) Get(key string) ([]Finding, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	return e.Findings, true
+}
+
+// Put stores findings under key, atomically: the entry is written to a
+// temp file in the same directory and renamed into place, so a
+// concurrent reader sees either the old state or the complete new
+// entry, never a torn write.
+func (c *Cache) Put(key string, findings []Finding) error {
+	data, err := json.Marshal(cacheEntry{Findings: findings})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}
+
+// Clear removes every entry, leaving the cache directory usable.
+func (c *Cache) Clear() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := os.RemoveAll(filepath.Join(c.dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

@@ -1,0 +1,174 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"luxvis/internal/lint"
+)
+
+// writeCacheModule lays out a two-package synthetic module:
+// cachetest/a (with one floateq violation) and cachetest/b, which
+// imports a.
+func writeCacheModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module cachetest\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+// Eq compares exactly, which floateq flags.
+func Eq(x, y float64) bool { return x == y }
+`,
+		"b/b.go": `package b
+
+import "cachetest/a"
+
+// Same forwards to a.
+func Same(x, y float64) bool { return a.Eq(x, y) }
+`,
+	}
+	for name, src := range files {
+		full := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func lintCacheModule(t *testing.T, root string, cache *lint.Cache) *lint.ModuleResult {
+	t.Helper()
+	res, err := lint.LintModule(root, lint.All(), lint.Config{Cache: cache})
+	if err != nil {
+		t.Fatalf("LintModule: %v", err)
+	}
+	return res
+}
+
+func TestCacheHitMissInvalidation(t *testing.T) {
+	root := writeCacheModule(t)
+	cache, err := lint.NewCacheAt(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewCacheAt: %v", err)
+	}
+
+	// Cold: everything misses, and the floateq finding in a/ surfaces.
+	cold := lintCacheModule(t, root, cache)
+	if cold.CacheHits != 0 || cold.CacheMisses != 2 {
+		t.Fatalf("cold run: %d hits, %d misses; want 0, 2", cold.CacheHits, cold.CacheMisses)
+	}
+	coldFindings := render(cold.Findings())
+	if !contains(coldFindings, "floateq") {
+		t.Fatalf("cold run lost the seeded finding:\n%s", coldFindings)
+	}
+
+	// Warm: everything hits, findings byte-identical.
+	warm := lintCacheModule(t, root, cache)
+	if warm.CacheHits != 2 || warm.CacheMisses != 0 {
+		t.Fatalf("warm run: %d hits, %d misses; want 2, 0", warm.CacheHits, warm.CacheMisses)
+	}
+	if got := render(warm.Findings()); got != coldFindings {
+		t.Fatalf("cached findings differ:\n--- cold ---\n%s--- warm ---\n%s", coldFindings, got)
+	}
+
+	// Touching b invalidates only b: a's hash is independent of its
+	// importers.
+	appendTo(t, filepath.Join(root, "b", "b.go"), "\n// edited\n")
+	after := lintCacheModule(t, root, cache)
+	if after.CacheHits != 1 || after.CacheMisses != 1 {
+		t.Fatalf("after editing b: %d hits, %d misses; want 1, 1", after.CacheHits, after.CacheMisses)
+	}
+
+	// Touching a invalidates a AND b: the combined hash folds in
+	// transitive dependencies, so type-information changes propagate.
+	appendTo(t, filepath.Join(root, "a", "a.go"), "\n// edited\n")
+	after = lintCacheModule(t, root, cache)
+	if after.CacheHits != 0 || after.CacheMisses != 2 {
+		t.Fatalf("after editing a: %d hits, %d misses; want 0, 2", after.CacheHits, after.CacheMisses)
+	}
+}
+
+// TestCacheMatchesUncached: serving from cache must be invisible in the
+// findings themselves.
+func TestCacheMatchesUncached(t *testing.T) {
+	root := writeCacheModule(t)
+	cache, err := lint.NewCacheAt(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewCacheAt: %v", err)
+	}
+	lintCacheModule(t, root, cache) // populate
+	cached := lintCacheModule(t, root, cache)
+	if cached.CacheHits == 0 {
+		t.Fatal("second run did not hit the cache")
+	}
+	uncached := lintCacheModule(t, root, nil)
+	if got, want := render(cached.Findings()), render(uncached.Findings()); got != want {
+		t.Fatalf("cached findings differ from uncached:\n--- cached ---\n%s--- uncached ---\n%s", got, want)
+	}
+}
+
+func TestCacheClear(t *testing.T) {
+	root := writeCacheModule(t)
+	cache, err := lint.NewCacheAt(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewCacheAt: %v", err)
+	}
+	lintCacheModule(t, root, cache)
+	if err := cache.Clear(); err != nil {
+		t.Fatalf("Clear: %v", err)
+	}
+	res := lintCacheModule(t, root, cache)
+	if res.CacheHits != 0 {
+		t.Errorf("run after Clear hit the cache: %d hits", res.CacheHits)
+	}
+}
+
+// TestCacheCorruptEntryIsMiss: a truncated or garbage entry must be
+// treated as absent, never crash or poison results.
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	root := writeCacheModule(t)
+	cacheDir := t.TempDir()
+	cache, err := lint.NewCacheAt(cacheDir)
+	if err != nil {
+		t.Fatalf("NewCacheAt: %v", err)
+	}
+	first := lintCacheModule(t, root, cache)
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache dir after run: %v entries, err %v", len(entries), err)
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(filepath.Join(cacheDir, e.Name()), []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := lintCacheModule(t, root, cache)
+	if res.CacheHits != 0 {
+		t.Errorf("corrupt entries served as hits: %d", res.CacheHits)
+	}
+	if got, want := render(res.Findings()), render(first.Findings()); got != want {
+		t.Fatalf("findings after corruption differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+func appendTo(t *testing.T, path, text string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(text); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

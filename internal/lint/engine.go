@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Config tunes the engine. The zero value is the default: one worker
+// per CPU, no cache.
+type Config struct {
+	// Workers caps concurrent package analysis; <= 0 means GOMAXPROCS.
+	// Findings are byte-for-byte identical at any worker count — the
+	// canonical sort (see less) is the only ordering authority.
+	Workers int
+	// Cache, when non-nil, keys per-package results by content hash so
+	// unchanged packages skip analysis — and, in LintModule, skip
+	// type-checking entirely.
+	Cache *Cache
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunConfig applies the analyzers to every package under cfg and
+// returns all findings in canonical order. Packages are distributed
+// over workers by index striding; each worker writes only its own
+// result slots, so the engine needs no locks of its own.
+func RunConfig(pkgs []*Package, analyzers []Analyzer, cfg Config) []Finding {
+	results := make([][]Finding, len(pkgs))
+	runParallel(len(pkgs), cfg.workers(), func(i int) {
+		results[i] = lintPackage(pkgs[i], analyzers)
+	})
+	var out []Finding
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	sortFindings(out)
+	return out
+}
+
+// lintPackage is the per-package unit of work: collect directives, run
+// the analyzers through directive filtering, then audit for stale
+// directives. The result is in canonical order and is what the cache
+// stores.
+func lintPackage(p *Package, analyzers []Analyzer) []Finding {
+	dirs, bad := collectDirectives(p)
+	out := append([]Finding(nil), bad...)
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name()] = true
+		for _, f := range a.Check(p) {
+			if !dirs.allows(f) {
+				out = append(out, f)
+			}
+		}
+	}
+	out = append(out, dirs.stale(p, active)...)
+	sortFindings(out)
+	return out
+}
+
+// runParallel executes do(0..n-1) across at most `workers` goroutines.
+// Work is assigned by striding (worker w takes i = w, w+workers, ...),
+// so the mapping from index to worker is deterministic and no shared
+// counter — no mutex, no channel — is needed.
+func runParallel(n, workers int, do func(int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			do(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				do(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// PackageFindings is one package's lint outcome inside a ModuleResult.
+type PackageFindings struct {
+	// Path is the package import path.
+	Path string
+	// Dir is the package's absolute directory.
+	Dir string
+	// Findings is the package's canonical-order finding list (possibly
+	// served from cache).
+	Findings []Finding
+}
+
+// ModuleResult is a whole-module lint run.
+type ModuleResult struct {
+	// Packages lists every package in import-path order.
+	Packages []PackageFindings
+	// CacheHits and CacheMisses count packages served from / written to
+	// the cache. Without a cache, every package is a miss.
+	CacheHits, CacheMisses int
+}
+
+// Findings flattens the per-package results into one canonical-order
+// list.
+func (r *ModuleResult) Findings() []Finding {
+	var out []Finding
+	for _, p := range r.Packages {
+		out = append(out, p.Findings...)
+	}
+	sortFindings(out)
+	return out
+}
+
+// LintModule parses, type-checks and analyzes the module rooted at
+// root. With a cache configured, packages whose combined content hash
+// hits are served without analysis — and only the cache misses (plus
+// their dependency closure) are type-checked at all, which is where the
+// warm-run savings come from: parsing and hashing a module is
+// milliseconds, while type-checking drags in standard-library source.
+func LintModule(root string, analyzers []Analyzer, cfg Config) (*ModuleResult, error) {
+	ms, err := ParseModule(root)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ModuleResult{}
+	byPath := make(map[string][]Finding, len(ms.Paths()))
+	var missPaths []string
+	for _, path := range ms.Paths() {
+		if cfg.Cache != nil {
+			if fs, ok := cfg.Cache.Get(cacheKey(ms.Root, path, ms.Hash(path), analyzers)); ok {
+				byPath[path] = fs
+				res.CacheHits++
+				continue
+			}
+		}
+		missPaths = append(missPaths, path)
+		res.CacheMisses++
+	}
+
+	if len(missPaths) > 0 {
+		need := make(map[string]bool, len(missPaths))
+		for _, path := range missPaths {
+			need[path] = true
+		}
+		checked, err := ms.TypeCheck(need)
+		if err != nil {
+			return nil, err
+		}
+		results := make([][]Finding, len(missPaths))
+		runParallel(len(missPaths), cfg.workers(), func(i int) {
+			results[i] = lintPackage(checked[missPaths[i]], analyzers)
+		})
+		for i, path := range missPaths {
+			byPath[path] = results[i]
+			if cfg.Cache != nil {
+				// Best-effort: a failed cache write costs the next run a
+				// re-analysis, nothing more.
+				_ = cfg.Cache.Put(cacheKey(ms.Root, path, ms.Hash(path), analyzers), results[i])
+			}
+		}
+	}
+
+	paths := append([]string(nil), ms.Paths()...)
+	sort.Strings(paths)
+	for _, path := range paths {
+		res.Packages = append(res.Packages, PackageFindings{
+			Path:     path,
+			Dir:      ms.Dir(path),
+			Findings: byPath[path],
+		})
+	}
+	return res, nil
+}

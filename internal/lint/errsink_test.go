@@ -1,0 +1,74 @@
+package lint_test
+
+import (
+	"testing"
+
+	"luxvis/internal/lint"
+)
+
+const errsinkFixture = `package fixture
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+)
+
+type sink struct {
+	w   *bufio.Writer
+	err error
+}
+
+func bareFlush(s *sink) {
+	s.w.Flush() // want
+}
+
+func blankWrite(s *sink, p []byte) {
+	_, _ = s.w.Write(p) // want
+}
+
+func blankIoWriteString(w io.Writer) {
+	_, _ = io.WriteString(w, "x") // want
+}
+
+func checkedFlush(s *sink) error {
+	return s.w.Flush()
+}
+
+func stickyWrite(s *sink, p []byte) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = s.w.Write(p)
+}
+
+func infallibleWriters(sb *strings.Builder, buf *bytes.Buffer, p []byte) {
+	sb.WriteString("x")
+	buf.Write(p)
+}
+
+func suppressed(s *sink) {
+	//lint:allow errsink fixture exception with a reason
+	s.w.Flush()
+}
+`
+
+func TestErrSink(t *testing.T) {
+	// The analyzer is scoped to the writer packages; the fixture poses
+	// as internal/obs.
+	findings := runFixture(t, "luxvis/internal/obs", errsinkFixture, lint.ErrSink{})
+	assertWants(t, errsinkFixture, findingsOf(findings, "errsink"))
+	if bad := findingsOf(findings, "directive"); len(bad) != 0 {
+		t.Errorf("directive findings = %v; want none", bad)
+	}
+}
+
+// TestErrSinkScope: the same code outside the observability planes is
+// not errsink's business (other analyzers govern general hygiene).
+func TestErrSinkScope(t *testing.T) {
+	findings := runFixture(t, "luxvis/internal/geom", errsinkFixture, lint.ErrSink{})
+	if got := findingsOf(findings, "errsink"); len(got) != 0 {
+		t.Errorf("out-of-scope findings = %v; want none", got)
+	}
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDirectiveParse holds parseAllowDirective to its contract over
+// arbitrary comment text: total (no panics), and exactly one of the
+// three outcomes — not-a-directive, well-formed, malformed — with
+// internally consistent results. The checked-in corpus under
+// testdata/fuzz/FuzzDirectiveParse seeds the interesting shapes.
+func FuzzDirectiveParse(f *testing.F) {
+	seeds := []string{
+		"//lint:allow floateq because the comparison is a bit-exact sentinel",
+		"//lint:allow all blanket exception with a reason",
+		"//lint:allow floateq",
+		"//lint:allow",
+		"//lint:allow nosuch because reasons",
+		"//lint:allowfloateq smushed",
+		"//lint:allow\tfloateq\ttabs as separators",
+		"//lint:allow floateq причина по-русски",
+		"// just a comment",
+		"//lint:allow  floateq   extra   spaces",
+		"//lint:allow floateq " + strings.Repeat("x", 4096),
+		"//lint:allow \x00 nul",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	known := map[string]bool{"all": true, "floateq": true, "locksafe": true}
+	f.Fuzz(func(t *testing.T, text string) {
+		analyzer, problem := parseAllowDirective(text, known)
+		if analyzer != "" && problem != "" {
+			t.Fatalf("both outcomes at once for %q: analyzer=%q problem=%q", text, analyzer, problem)
+		}
+		if analyzer != "" && !known[analyzer] {
+			t.Fatalf("parse accepted unknown analyzer %q from %q", analyzer, text)
+		}
+		if !strings.HasPrefix(text, allowPrefix) && (analyzer != "" || problem != "") {
+			t.Fatalf("non-directive %q produced analyzer=%q problem=%q", text, analyzer, problem)
+		}
+		if analyzer != "" {
+			// A well-formed directive must carry a reason beyond the
+			// analyzer name.
+			rest := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+			if len(rest) < 2 {
+				t.Fatalf("accepted directive without a reason: %q", text)
+			}
+		}
+	})
+}

@@ -4,7 +4,18 @@
 // epsilon-safe geometry predicates (floateq), the O(1)-color palette
 // discipline (palette), mutex-guarded shared state under asynchrony
 // (mutexdiscipline), seeded-replay determinism of the algorithm packages
-// (nondet), and cancellable goroutines (ctxcancel).
+// (nondet), cancellable goroutines (ctxcancel), the
+// no-blocking-under-the-world-lock callback contract (locksafe),
+// tear-free atomics discipline (atomicmix), checked hot-writer errors
+// (errsink), and stable wire-format tags (wireformat).
+//
+// Since PR 4 the engine reasons across function boundaries: each package
+// gets an intra-package static call graph (callgraph.go) that the
+// concurrency analyzers propagate over, packages are analyzed in
+// parallel with deterministic finding order (engine.go), results are
+// cached by content hash for incremental runs (cache.go), and findings
+// render as text, GitHub Actions annotations, or SARIF 2.1.0
+// (sarif.go).
 //
 // The suite is self-hosted: `go run ./cmd/vislint ./...` must exit 0 on
 // this repository. Deliberate exceptions are annotated in the source
@@ -12,9 +23,11 @@
 //
 //	//lint:allow <analyzer> <reason>
 //
-// The reason is mandatory; a directive without one is itself reported.
-// See DESIGN.md, "Static invariants", for the mapping from each
-// analyzer to the paper claim it protects.
+// The reason is mandatory; a directive without one is itself reported —
+// and so is a directive that no longer suppresses anything (stale
+// directives are errors, which keeps the written-down exception set
+// honest). See DESIGN.md, "Static invariants", for the mapping from
+// each analyzer to the paper claim it protects.
 package lint
 
 import (
@@ -24,6 +37,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Severity grades a finding. Error findings fail the build gate;
@@ -71,6 +85,13 @@ type Package struct {
 	Pkg *types.Package
 	// Info carries the type-checker's expression/object tables.
 	Info *types.Info
+	// Hash is the package's combined content hash: its own sources plus
+	// every module-local dependency's, transitively. It keys the result
+	// cache; empty for packages built outside LoadModule (fixtures).
+	Hash string
+
+	cgOnce sync.Once
+	cg     *CallGraph
 }
 
 // TypeOf returns the type of e, or nil when unknown.
@@ -102,6 +123,10 @@ func All() []Analyzer {
 		MutexDiscipline{},
 		NonDet{},
 		CtxCancel{},
+		LockSafe{},
+		AtomicMix{},
+		ErrSink{},
+		WireFormat{},
 	}
 }
 
@@ -129,35 +154,37 @@ func ByName(names ...string) ([]Analyzer, error) {
 }
 
 // Run applies the analyzers to every package, filters findings through
-// //lint:allow directives, and returns the survivors sorted by position.
-// Malformed directives are themselves reported as error findings.
+// //lint:allow directives (auditing for stale ones), and returns the
+// survivors in canonical order. Malformed directives are themselves
+// reported as error findings. Packages are analyzed in parallel; see
+// RunConfig to control the worker count or attach a cache.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
-	var out []Finding
-	for _, p := range pkgs {
-		dirs, bad := collectDirectives(p)
-		out = append(out, bad...)
-		for _, a := range analyzers {
-			for _, f := range a.Check(p) {
-				if !dirs.allows(f) {
-					out = append(out, f)
-				}
-			}
-		}
+	return RunConfig(pkgs, analyzers, Config{})
+}
+
+// less is the canonical finding order: position (filename, line,
+// column), then analyzer, then message. Every path that emits findings
+// — sequential, parallel, cached — sorts with this one comparator, so
+// engine configuration can never reorder output.
+func less(a, b Finding) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	if a.Analyzer != b.Analyzer {
 		return a.Analyzer < b.Analyzer
-	})
-	return out
+	}
+	return a.Message < b.Message
+}
+
+// sortFindings sorts fs into canonical order (see less).
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool { return less(fs[i], fs[j]) })
 }
 
 // HasErrors reports whether any finding has Error severity.

@@ -112,8 +112,8 @@ func findingsOf(fs []lint.Finding, analyzer string) []lint.Finding {
 
 func TestByName(t *testing.T) {
 	all, err := lint.ByName()
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName() = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 9 {
+		t.Fatalf("ByName() = %d analyzers, err %v; want 9, nil", len(all), err)
 	}
 	sub, err := lint.ByName("floateq", "nondet")
 	if err != nil || len(sub) != 2 {

@@ -1,0 +1,58 @@
+package lint_test
+
+import (
+	"testing"
+	"time"
+
+	"luxvis/internal/lint"
+)
+
+// BenchmarkLintRepo measures a full-repository lint cold (empty cache)
+// versus warm (every package a hit) and asserts the cache pays for
+// itself: the warm run must be at least twice as fast as the cold one,
+// because a full hit skips type-checking — the dominant cost — outright.
+// The steady-state b.N loop then times the warm path.
+func BenchmarkLintRepo(b *testing.B) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache, err := lint.NewCacheAt(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := lint.Config{Cache: cache}
+
+	start := time.Now()
+	cold, err := lint.LintModule(root, lint.All(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldDur := time.Since(start)
+	if cold.CacheMisses == 0 || cold.CacheHits != 0 {
+		b.Fatalf("cold run: %d hits, %d misses; want 0 hits", cold.CacheHits, cold.CacheMisses)
+	}
+
+	start = time.Now()
+	warm, err := lint.LintModule(root, lint.All(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warmDur := time.Since(start)
+	if warm.CacheHits != cold.CacheMisses || warm.CacheMisses != 0 {
+		b.Fatalf("warm run: %d hits, %d misses; want %d hits, 0 misses",
+			warm.CacheHits, warm.CacheMisses, cold.CacheMisses)
+	}
+	if 2*warmDur >= coldDur {
+		b.Errorf("warm cache not measurably faster: cold=%v warm=%v", coldDur, warmDur)
+	}
+	b.ReportMetric(float64(coldDur.Milliseconds()), "cold-ms")
+	b.ReportMetric(float64(warmDur.Milliseconds()), "warm-ms")
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lint.LintModule(root, lint.All(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

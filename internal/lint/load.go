@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -21,7 +23,47 @@ import (
 // imports are resolved from the tree being linted and standard-library
 // imports are type-checked from GOROOT source, so the loader needs no
 // build cache, no network and no external dependencies.
+//
+// Callers that want to avoid type-checking work on cache hits should
+// use ParseModule + ModuleSource.TypeCheck instead (that is what
+// LintModule does): parsing and content-hashing are cheap, while
+// type-checking — which drags in standard-library source — dominates
+// the cost of a lint run.
 func LoadModule(root string) ([]*Package, error) {
+	ms, err := ParseModule(root)
+	if err != nil {
+		return nil, err
+	}
+	checked, err := ms.TypeCheck(nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Package, 0, len(ms.order))
+	for _, path := range ms.order {
+		out = append(out, checked[path])
+	}
+	return out, nil
+}
+
+// ModuleSource is a parsed-but-not-yet-type-checked module: syntax
+// trees, import graphs and content hashes for every package, in
+// dependency order. It is the unit the cache layer keys against — a
+// package's combined hash is known before any type-checking happens.
+type ModuleSource struct {
+	// Root is the absolute module root.
+	Root string
+	// ModPath is the module path from go.mod.
+	ModPath string
+
+	fset  *token.FileSet
+	pkgs  map[string]*rawPkg
+	order []string // topological, dependencies first
+}
+
+// ParseModule discovers and parses every non-test package under root,
+// computing per-package content hashes and the dependency order, but
+// performing no type-checking.
+func ParseModule(root string) (*ModuleSource, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -56,19 +98,74 @@ func LoadModule(root string) ([]*Package, error) {
 		return nil, err
 	}
 
-	imp := &moduleImporter{
-		std:  importer.ForCompiler(fset, "source", nil),
-		pkgs: make(map[string]*types.Package, len(order)),
-	}
-	var out []*Package
+	// Combined hashes, dependencies first: a package's cache key must
+	// change when anything it can see changes, so the combined hash
+	// folds in every module-local import's combined hash.
 	for _, path := range order {
 		rp := parsed[path]
-		pkg, err := typeCheck(fset, rp, imp)
+		h := sha256.New()
+		fmt.Fprintf(h, "self %s\n", rp.hash)
+		for _, imp := range rp.imports {
+			if dep, ok := parsed[imp]; ok {
+				fmt.Fprintf(h, "dep %s %s\n", imp, dep.combined)
+			}
+		}
+		rp.combined = hex.EncodeToString(h.Sum(nil))
+	}
+
+	return &ModuleSource{Root: root, ModPath: modPath, fset: fset, pkgs: parsed, order: order}, nil
+}
+
+// Paths returns the package import paths in dependency order.
+func (ms *ModuleSource) Paths() []string { return ms.order }
+
+// Hash returns the combined content hash of one package (its own
+// sources plus all module-local dependencies, transitively).
+func (ms *ModuleSource) Hash(path string) string { return ms.pkgs[path].combined }
+
+// Dir returns the absolute directory of one package.
+func (ms *ModuleSource) Dir(path string) string { return ms.pkgs[path].dir }
+
+// TypeCheck type-checks the packages in need — plus their module-local
+// transitive dependencies, which go/types requires — and returns them
+// by import path. A nil need means every package. Packages outside the
+// closure are not checked at all; on a fully-warm cache run that is the
+// entire savings.
+func (ms *ModuleSource) TypeCheck(need map[string]bool) (map[string]*Package, error) {
+	closure := make(map[string]bool, len(ms.order))
+	var mark func(path string)
+	mark = func(path string) {
+		if closure[path] {
+			return
+		}
+		closure[path] = true
+		for _, imp := range ms.pkgs[path].imports {
+			if _, local := ms.pkgs[imp]; local {
+				mark(imp)
+			}
+		}
+	}
+	for _, path := range ms.order {
+		if need == nil || need[path] {
+			mark(path)
+		}
+	}
+
+	imp := &moduleImporter{
+		std:  importer.ForCompiler(ms.fset, "source", nil),
+		pkgs: make(map[string]*types.Package, len(closure)),
+	}
+	out := make(map[string]*Package, len(closure))
+	for _, path := range ms.order {
+		if !closure[path] {
+			continue
+		}
+		pkg, err := typeCheck(ms.fset, ms.pkgs[path], imp)
 		if err != nil {
 			return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 		}
 		imp.pkgs[path] = pkg.Pkg
-		out = append(out, pkg)
+		out[path] = pkg
 	}
 	return out, nil
 }
@@ -135,14 +232,17 @@ func packageDirs(root string) ([]string, error) {
 
 // rawPkg is a parsed-but-unchecked package.
 type rawPkg struct {
-	path    string
-	dir     string
-	files   []*ast.File
-	imports []string
+	path     string
+	dir      string
+	files    []*ast.File
+	imports  []string
+	hash     string // sha256 over this package's own file names + contents
+	combined string // hash folded with all module-local deps' combined hashes
 }
 
 // parseDir parses the non-test Go files of one directory, or returns
-// nil when the directory holds none.
+// nil when the directory holds none. File contents are read once and
+// fed to both the parser and the package content hash.
 func parseDir(fset *token.FileSet, root, modPath, dir string) (*rawPkg, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -150,12 +250,20 @@ func parseDir(fset *token.FileSet, root, modPath, dir string) (*rawPkg, error) {
 	}
 	var files []*ast.File
 	seen := map[string]bool{}
+	h := sha256.New()
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(h, "file %s %d\n", name, len(src))
+		h.Write(src)
+		f, err := parser.ParseFile(fset, full, src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +288,13 @@ func parseDir(fset *token.FileSet, root, modPath, dir string) (*rawPkg, error) {
 		imports = append(imports, imp)
 	}
 	sort.Strings(imports)
-	return &rawPkg{path: path, dir: dir, files: files, imports: imports}, nil
+	return &rawPkg{
+		path:    path,
+		dir:     dir,
+		files:   files,
+		imports: imports,
+		hash:    hex.EncodeToString(h.Sum(nil)),
+	}, nil
 }
 
 // topoSort orders packages so every module-local import precedes its
@@ -260,6 +374,7 @@ func typeCheck(fset *token.FileSet, rp *rawPkg, imp types.Importer) (*Package, e
 		Files: rp.files,
 		Pkg:   pkg,
 		Info:  info,
+		Hash:  rp.combined,
 	}, nil
 }
 

@@ -1,0 +1,204 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"luxvis/internal/lint"
+)
+
+const locksafeFixture = `package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func sendUnderLock(b *box) {
+	b.mu.Lock()
+	b.ch <- 1 // want
+	b.mu.Unlock()
+}
+
+func sendAfterUnlock(b *box) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- 1
+}
+
+func receiveUnderDeferredUnlock(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	<-b.ch // want
+}
+
+func selectWithDefault(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- 1:
+	default:
+	}
+}
+
+func selectBlocking(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want
+	case b.ch <- 1:
+	}
+}
+
+func sleepUnderLock(b *box) {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want
+	b.mu.Unlock()
+}
+
+func waitUnderLock(b *box, wg *sync.WaitGroup) {
+	b.mu.Lock()
+	wg.Wait() // want
+	b.mu.Unlock()
+}
+
+func rangeUnderRLock(b *box, mu *sync.RWMutex) {
+	mu.RLock()
+	defer mu.RUnlock()
+	for range b.ch { // want
+	}
+}
+
+func drainLocked(b *box) {
+	<-b.ch // want
+}
+
+func goBodyRunsOutsideCallerLock(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.ch <- 1
+	}()
+}
+
+func goBodyHasItsOwnDiscipline(b *box) {
+	go func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.ch <- 2 // want
+	}()
+}
+
+func storedClosureIsNotExecutedHere(b *box) func() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f := func() { b.ch <- 3 }
+	return f
+}
+
+func helper(b *box) { b.ch <- 1 }
+
+func callUnderLock(b *box) {
+	b.mu.Lock()
+	helper(b) // want
+	b.mu.Unlock()
+}
+
+func callOutsideLock(b *box) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	helper(b)
+}
+
+func middle(b *box) { helper(b) }
+
+func transitiveCallUnderLock(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	middle(b) // want
+}
+
+func suppressed(b *box) {
+	b.mu.Lock()
+	//lint:allow locksafe fixture exception with a reason
+	b.ch <- 1
+	b.mu.Unlock()
+}
+`
+
+func TestLockSafe(t *testing.T) {
+	findings := runFixture(t, "luxvis/internal/fixture", locksafeFixture, lint.LockSafe{})
+	assertWants(t, locksafeFixture, findingsOf(findings, "locksafe"))
+	// The directive in suppressed() must be consumed, not reported stale.
+	if bad := findingsOf(findings, "directive"); len(bad) != 0 {
+		t.Errorf("directive findings = %v; want none", bad)
+	}
+	// The transitive finding must carry its witness chain.
+	chained := false
+	for _, f := range findingsOf(findings, "locksafe") {
+		if strings.Contains(f.Message, "middle") && strings.Contains(f.Message, "helper") {
+			chained = true
+		}
+	}
+	if !chained {
+		t.Errorf("no finding shows the middle → helper call chain: %v", findings)
+	}
+}
+
+const locksafeObserverFixture = `package fixture
+
+import (
+	"sync"
+
+	"luxvis/internal/sim"
+)
+
+type world struct {
+	mu  sync.Mutex
+	obs sim.Observer
+}
+
+func notifyUnderLock(w *world) {
+	w.mu.Lock()
+	w.obs.RunStart(sim.RunInfo{}) // want
+	w.mu.Unlock()
+}
+
+func notifyAfterUnlock(w *world) {
+	w.mu.Lock()
+	w.mu.Unlock()
+	w.obs.RunStart(sim.RunInfo{})
+}
+
+func fire(w *world) {
+	w.obs.EpochEnd(sim.EpochSample{})
+}
+
+func indirectNotifyUnderLock(w *world) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fire(w) // want
+}
+`
+
+// TestLockSafeObserver proves the analyzer enforces the rt contract:
+// sim.Observer callbacks — direct or through a call chain — are
+// forbidden while a mutex is held.
+func TestLockSafeObserver(t *testing.T) {
+	sim := modulePackage(t, "internal/sim")
+	findings := runFixture(t, "luxvis/internal/fixture", locksafeObserverFixture, lint.LockSafe{}, sim)
+	assertWants(t, locksafeObserverFixture, findings)
+	named := false
+	for _, f := range findings {
+		if strings.Contains(f.Message, "sim.Observer.EpochEnd") {
+			named = true
+		}
+	}
+	if !named {
+		t.Errorf("no finding names the reached observer callback: %v", findings)
+	}
+}

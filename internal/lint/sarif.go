@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// This file renders findings for machines: SARIF 2.1.0 for code-scanning
+// uploads and GitHub Actions workflow commands for inline PR
+// annotations. Both formats relativize file paths against the module
+// root so the output is stable across checkouts.
+
+// sarifLog is the top-level SARIF 2.1.0 document.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF emits findings as one SARIF 2.1.0 run. The rule table
+// covers the analyzer suite plus the "directive" pseudo-rule that
+// malformed and stale //lint:allow comments report under.
+func WriteSARIF(w io.Writer, root string, analyzers []Analyzer, findings []Finding) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name(),
+			ShortDescription: sarifMessage{Text: a.Doc()},
+		})
+	}
+	rules = append(rules, sarifRule{
+		ID:               "directive",
+		ShortDescription: sarifMessage{Text: "malformed or stale //lint:allow directives"},
+	})
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		level := "warning"
+		if f.Severity == Error {
+			level = "error"
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   level,
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: rootRelative(root, f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "vislint",
+				InformationURI: "https://github.com/luxvis/luxvis",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	})
+}
+
+// WriteGitHub emits findings as GitHub Actions workflow commands
+// (::error / ::warning), which the Actions runner turns into inline PR
+// diff annotations.
+func WriteGitHub(w io.Writer, root string, findings []Finding) error {
+	for _, f := range findings {
+		cmd := "warning"
+		if f.Severity == Error {
+			cmd = "error"
+		}
+		_, err := fmt.Fprintf(w, "::%s file=%s,line=%d,col=%d::%s\n",
+			cmd,
+			escapeGitHubProperty(rootRelative(root, f.Pos.Filename)),
+			f.Pos.Line, f.Pos.Column,
+			escapeGitHubData(fmt.Sprintf("[%s] %s", f.Analyzer, f.Message)))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rootRelative renders filename relative to root with forward slashes,
+// falling back to the original on failure (a path outside the module).
+func rootRelative(root, filename string) string {
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// escapeGitHubData escapes the message payload of a workflow command.
+func escapeGitHubData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeGitHubProperty escapes a workflow-command property value, which
+// additionally reserves ':' and ','.
+func escapeGitHubProperty(s string) string {
+	s = escapeGitHubData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}

@@ -1,0 +1,127 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"luxvis/internal/lint"
+)
+
+func sampleFindings(root string) []lint.Finding {
+	return []lint.Finding{
+		{
+			Analyzer: "floateq",
+			Pos:      token.Position{Filename: root + "/internal/geom/geom.go", Line: 12, Column: 9},
+			Severity: lint.Error,
+			Message:  "float equality",
+		},
+		{
+			Analyzer: "nondet",
+			Pos:      token.Position{Filename: root + "/internal/sim/engine.go", Line: 3, Column: 1},
+			Severity: lint.Warning,
+			Message:  "iteration order\nwith a newline, 50% odds",
+		},
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	const root = "/work/luxvis"
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, root, lint.All(), sampleFindings(root)); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Version != "2.1.0" || !strings.Contains(doc.Schema, "sarif-2.1.0") {
+		t.Errorf("version/schema = %q / %q", doc.Version, doc.Schema)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("runs = %d; want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "vislint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Rule table: all analyzers plus the directive pseudo-rule.
+	if want := len(lint.All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("rules = %d; want %d", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d; want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "floateq" || first.Level != "error" {
+		t.Errorf("result[0] = %s/%s", first.RuleID, first.Level)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/geom/geom.go" {
+		t.Errorf("uri = %q; want module-relative path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 12 || loc.Region.StartColumn != 9 {
+		t.Errorf("region = %+v", loc.Region)
+	}
+	if run.Results[1].Level != "warning" {
+		t.Errorf("result[1] level = %q", run.Results[1].Level)
+	}
+}
+
+func TestWriteGitHub(t *testing.T) {
+	const root = "/work/luxvis"
+	var buf bytes.Buffer
+	if err := lint.WriteGitHub(&buf, root, sampleFindings(root)); err != nil {
+		t.Fatalf("WriteGitHub: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d; want 2\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "::error file=internal/geom/geom.go,line=12,col=9::[floateq] float equality" {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	// Newlines and percent signs in messages must be escaped, or the
+	// runner truncates the annotation.
+	if !strings.HasPrefix(lines[1], "::warning file=internal/sim/engine.go,line=3,col=1::") {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "%0A") || !strings.Contains(lines[1], "%25") {
+		t.Errorf("line 1 not escaped: %q", lines[1])
+	}
+	if strings.Contains(lines[1], "\nwith") {
+		t.Errorf("raw newline leaked into annotation: %q", lines[1])
+	}
+}

@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// WireFormat protects the repo's two byte-level compatibility promises:
+// the golden JSONL trace (internal/trace) and the JSON /metrics
+// snapshot (internal/serve, internal/obs). Both are diffed byte for
+// byte in tests, so the wire names of struct fields are API — and a
+// struct marshaled without explicit json tags silently couples the wire
+// format to Go field names, where an innocent rename becomes a
+// golden-file break discovered two layers away.
+//
+// Two rules, scoped to the wire-producing packages (internal/serve,
+// internal/trace, internal/obs):
+//
+//  1. A struct that has any json-tagged field has opted into the wire
+//     format: every exported field must then carry an explicit json
+//     name (`json:"-"` counts — it is an explicit decision).
+//  2. A named struct type that flows into a JSON sink — json.Marshal,
+//     json.MarshalIndent, (*json.Encoder).Encode, or any package-local
+//     wrapper whose interface parameter reaches one of those,
+//     discovered transitively over the call graph — must have json
+//     tags if it has exported fields.
+//
+// Rule 2 is what catches the common shape `writeJSON(w, code, v)`: the
+// wrapper takes `any`, so nothing at its own Encode call names the
+// struct; the analyzer instead propagates sink-ness to the wrapper's
+// parameter and checks the static types at every call site.
+type WireFormat struct{}
+
+// Name implements Analyzer.
+func (WireFormat) Name() string { return "wireformat" }
+
+// Doc implements Analyzer.
+func (WireFormat) Doc() string {
+	return "structs marshaled by serve/trace/obs must carry explicit stable json tags"
+}
+
+// wireScopes are the package-path suffixes that produce wire bytes.
+var wireScopes = []string{"internal/serve", "internal/trace", "internal/obs"}
+
+// Check implements Analyzer.
+func (a WireFormat) Check(p *Package) []Finding {
+	inScope := false
+	for _, s := range wireScopes {
+		if p.PathHasSuffix(s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	var out []Finding
+	out = append(out, a.checkTagCompleteness(p)...)
+	out = append(out, a.checkMarshalSinks(p)...)
+	sortFindings(out)
+	return out
+}
+
+// checkTagCompleteness enforces rule 1: in a struct with any json tag,
+// every exported non-embedded field needs an explicit json name.
+func (a WireFormat) checkTagCompleteness(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			opted := false
+			for _, field := range st.Fields.List {
+				if jsonTagName(field) != "" {
+					opted = true
+					break
+				}
+			}
+			if !opted {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if len(field.Names) == 0 || jsonTagName(field) != "" {
+					continue // embedded, or explicitly named
+				}
+				for _, name := range field.Names {
+					if !name.IsExported() {
+						continue
+					}
+					out = append(out, finding(p, a.Name(), name.Pos(), Error,
+						"field %s of wire struct %s has no explicit json tag; the wire name must not depend on the Go field name",
+						name.Name, ts.Name.Name))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// jsonTagName extracts the explicit json name from a field tag: the
+// first comma-separated element of the json key ("-" counts as
+// explicit). Empty means no explicit name.
+func jsonTagName(field *ast.Field) string {
+	if field.Tag == nil {
+		return ""
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return ""
+	}
+	name, _, _ := strings.Cut(reflect.StructTag(raw).Get("json"), ",")
+	return name
+}
+
+// checkMarshalSinks enforces rule 2 with a fixpoint over the call
+// graph: sink parameters are discovered transitively, then every value
+// reaching a sink is checked for untagged named-struct types.
+func (a WireFormat) checkMarshalSinks(p *Package) []Finding {
+	g := p.CallGraph()
+
+	// paramIndex maps each declared function's parameter objects to
+	// their positional index.
+	paramIndex := make(map[*types.Func]map[types.Object]int)
+	for _, fn := range g.Funcs() {
+		fd := g.Decl(fn)
+		idx := make(map[types.Object]int)
+		i := 0
+		if fd.Type.Params != nil {
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if obj := p.Info.Defs[name]; obj != nil {
+						idx[obj] = i
+					}
+					i++
+				}
+			}
+		}
+		paramIndex[fn] = idx
+	}
+
+	// sinkParams[fn] is the set of fn's parameter indices whose values
+	// reach a JSON sink. Fixpoint: start with the direct sinks, then
+	// propagate through package-local wrapper calls until stable.
+	sinkParams := make(map[*types.Func]map[int]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range g.Funcs() {
+			fd := g.Decl(fn)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, argIdx := range sinkArgIndices(p, g, call, sinkParams) {
+					if argIdx >= len(call.Args) {
+						continue
+					}
+					id, ok := ast.Unparen(call.Args[argIdx]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := p.Info.Uses[id]
+					pi, isParam := paramIndex[fn][obj]
+					if !isParam {
+						continue
+					}
+					if _, ok := obj.Type().Underlying().(*types.Interface); !ok {
+						continue // concrete param: its sink call names the type itself
+					}
+					if sinkParams[fn] == nil {
+						sinkParams[fn] = make(map[int]bool)
+					}
+					if !sinkParams[fn][pi] {
+						sinkParams[fn][pi] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Final pass: check the static type of every value reaching a sink.
+	var out []Finding
+	for _, fn := range g.Funcs() {
+		fd := g.Decl(fn)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, argIdx := range sinkArgIndices(p, g, call, sinkParams) {
+				if argIdx >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[argIdx]
+				named := namedStructOf(p.TypeOf(arg))
+				if named == nil || named.Obj().Pkg() != p.Pkg {
+					continue
+				}
+				st := named.Underlying().(*types.Struct)
+				if structHasJSONTags(st) || !structHasExportedFields(st) {
+					continue
+				}
+				out = append(out, finding(p, a.Name(), arg.Pos(), Error,
+					"%s is marshaled as JSON here but declares no json tags; wire structs need explicit stable field names",
+					named.Obj().Name()))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// sinkArgIndices returns the indices of call's arguments that reach a
+// JSON sink: arg 0 of json.Marshal/MarshalIndent/(*json.Encoder).Encode,
+// or the sink parameters of a package-local wrapper.
+func sinkArgIndices(p *Package, g *CallGraph, call *ast.CallExpr, sinkParams map[*types.Func]map[int]bool) []int {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if pkgNameOf(p, sel.X) == "encoding/json" &&
+			(sel.Sel.Name == "Marshal" || sel.Sel.Name == "MarshalIndent") {
+			return []int{0}
+		}
+		if fn := methodObjOf(p, sel); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "encoding/json" && fn.Name() == "Encode" {
+			return []int{0}
+		}
+	}
+	callee := p.StaticCallee(call)
+	if callee == nil || g.Decl(callee) == nil {
+		return nil
+	}
+	params := sinkParams[callee]
+	if len(params) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(params))
+	for i := range params {
+		out = append(out, i)
+	}
+	if len(out) > 1 {
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j] < out[j-1]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+	}
+	return out
+}
+
+// namedStructOf unwraps pointers and returns t as a named struct type,
+// or nil.
+func namedStructOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// structHasJSONTags reports whether any field carries a json tag.
+func structHasJSONTags(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if name, _, _ := strings.Cut(reflect.StructTag(st.Tag(i)).Get("json"), ","); name != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// structHasExportedFields reports whether the struct would actually
+// marshal anything (at least one exported field).
+func structHasExportedFields(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Exported() {
+			return true
+		}
+	}
+	return false
+}

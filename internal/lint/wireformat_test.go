@@ -1,0 +1,86 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"luxvis/internal/lint"
+)
+
+const wireformatFixture = `package fixture
+
+import (
+	"encoding/json"
+	"io"
+)
+
+type Tagged struct {
+	Epoch int    ` + "`json:\"epoch\"`" + `
+	Name  string // want
+	Skip  int    ` + "`json:\"-\"`" + `
+	note  string
+}
+
+func keepNote(t Tagged) string { return t.note }
+
+type Bare struct {
+	X int
+	Y int
+}
+
+func direct(b Bare) ([]byte, error) {
+	return json.Marshal(b) // want
+}
+
+func viaEncoder(w io.Writer, b *Bare) error {
+	return json.NewEncoder(w).Encode(b) // want
+}
+
+func writeJSON(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
+}
+
+func throughWrapper(w io.Writer, b Bare) error {
+	return writeJSON(w, b) // want
+}
+
+func taggedThroughWrapper(w io.Writer, t Tagged) error {
+	return writeJSON(w, t)
+}
+
+func suppressed(w io.Writer, b Bare) error {
+	//lint:allow wireformat fixture exception with a reason
+	return writeJSON(w, b)
+}
+`
+
+func TestWireFormat(t *testing.T) {
+	// The analyzer is scoped to the wire-producing packages; the fixture
+	// poses as internal/serve.
+	findings := runFixture(t, "luxvis/internal/serve", wireformatFixture, lint.WireFormat{})
+	assertWants(t, wireformatFixture, findingsOf(findings, "wireformat"))
+	if bad := findingsOf(findings, "directive"); len(bad) != 0 {
+		t.Errorf("directive findings = %v; want none", bad)
+	}
+	var sawField, sawMarshal bool
+	for _, f := range findingsOf(findings, "wireformat") {
+		if strings.Contains(f.Message, "field Name of wire struct Tagged") {
+			sawField = true
+		}
+		if strings.Contains(f.Message, "Bare is marshaled as JSON") {
+			sawMarshal = true
+		}
+	}
+	if !sawField || !sawMarshal {
+		t.Errorf("missing expected messages (field=%v marshal=%v): %v", sawField, sawMarshal, findings)
+	}
+}
+
+// TestWireFormatScope: the same code outside serve/trace/obs carries no
+// wire-compatibility promise.
+func TestWireFormatScope(t *testing.T) {
+	findings := runFixture(t, "luxvis/internal/geom", wireformatFixture, lint.WireFormat{})
+	if got := findingsOf(findings, "wireformat"); len(got) != 0 {
+		t.Errorf("out-of-scope findings = %v; want none", got)
+	}
+}

@@ -28,7 +28,9 @@ func violationSlot(k sim.ViolationKind) int {
 // runs, with lock-free atomic increments, and implements sim.Observer so
 // it can be attached to every run a service executes (shared by all
 // worker goroutines). It is the `luxvis_engine_*` section of visserve's
-// Prometheus exposition.
+// Prometheus exposition. Every field is accessed through sync/atomic
+// only — the `atomicmix` analyzer (cmd/vislint) rejects any plain
+// load or store of these counters, so a snapshot can never tear.
 type EngineTotals struct {
 	runsStarted  atomic.Int64
 	runsFinished atomic.Int64

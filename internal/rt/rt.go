@@ -44,7 +44,9 @@ type Options struct {
 	// CycleEnd, EpochEnd and RunEnd are ever invoked — rt has no global
 	// event clock, so Event, MoveEnd and ViolationFound never fire.
 	// Callbacks run outside the world lock and may block without
-	// stalling other robots. Nil disables observation at zero cost.
+	// stalling other robots; the `locksafe` analyzer (cmd/vislint)
+	// enforces this contract statically across the package. Nil
+	// disables observation at zero cost.
 	Observer sim.Observer
 }
 

@@ -146,6 +146,7 @@ func (s *Server) DebugHandler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		//lint:allow errsink best-effort banner on the loopback debug listener; an http.ResponseWriter error here means the client hung up and there is no stream state to protect
 		_, _ = w.Write([]byte(version.String() + "\ndebug endpoints: /debug/runs /debug/pprof/ /healthz\n"))
 	})
 	return mux
