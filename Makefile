@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint lint-clean vet race bench-smoke fuzz-smoke check
+.PHONY: build test lint lint-clean vet race bench-smoke fuzz-smoke bench-visibility check
 
 build:
 	$(GO) build ./...
@@ -28,9 +28,10 @@ vet:
 	$(GO) vet ./...
 
 ## race: the concurrent runtime (one goroutine per robot), the engine,
-## the HTTP service and the observability layer under the race detector.
+## the HTTP service, the observability layer and the parallel visibility
+## kernel under the race detector.
 race:
-	$(GO) test -race ./internal/rt/... ./internal/sim/... ./internal/serve/... ./internal/obs/...
+	$(GO) test -race ./internal/rt/... ./internal/sim/... ./internal/serve/... ./internal/obs/... ./internal/geom/...
 
 ## bench-smoke: every benchmark compiles and completes one iteration
 ## (catches drift between the experiment harness and bench_test.go).
@@ -42,6 +43,13 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test ./internal/geom -run '^$$' -fuzz '^FuzzVisibleAgainstNaive$$' -fuzztime 15s
 	$(GO) test ./internal/geom -run '^$$' -fuzz '^FuzzSegmentCross$$' -fuzztime 15s
+	$(GO) test ./internal/geom -run '^$$' -fuzz '^FuzzSnapshotUpdate$$' -fuzztime 15s
+
+## bench-visibility: regenerate the visibility-kernel benchmark baseline
+## (kernel vs per-Look vs incremental, with host info). Takes minutes;
+## commit the refreshed BENCH_visibility.json with perf-relevant changes.
+bench-visibility:
+	$(GO) run ./cmd/visbench -bench-visibility BENCH_visibility.json
 
 ## check: everything a PR must pass, in fail-fast order.
 check: build vet lint test race bench-smoke fuzz-smoke

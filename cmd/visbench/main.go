@@ -23,16 +23,34 @@ import (
 
 func main() {
 	var (
-		expName = flag.String("exp", "all", "experiment to run (T1-T4, F1-F6, or 'all')")
-		quick   = flag.Bool("quick", false, "shrink sweeps for a fast pass")
-		seeds   = flag.Int("seeds", 0, "repetitions per cell (0 = experiment default)")
-		epochs  = flag.Int("max-epochs", 0, "per-run epoch cap (0 = default)")
-		svgDir  = flag.String("svg", "", "also write SVG figures (T1, F1, F3) into this directory")
-		showVer = flag.Bool("version", false, "print build version and exit")
+		expName  = flag.String("exp", "all", "experiment to run (T1-T4, F1-F6, or 'all')")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast pass")
+		seeds    = flag.Int("seeds", 0, "repetitions per cell (0 = experiment default)")
+		epochs   = flag.Int("max-epochs", 0, "per-run epoch cap (0 = default)")
+		svgDir   = flag.String("svg", "", "also write SVG figures (T1, F1, F3) into this directory")
+		visBench = flag.String("bench-visibility", "", "measure the visibility kernel against the per-Look baseline, write the JSON report to this path ('-' = stdout), and exit")
+		showVer  = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
 	if *showVer {
 		fmt.Println(version.String())
+		return
+	}
+	if *visBench != "" {
+		out := os.Stdout
+		if *visBench != "-" {
+			f, err := os.Create(*visBench)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := runVisibilityBench(out); err != nil {
+			fmt.Fprintf(os.Stderr, "visbench: bench-visibility: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"luxvis/internal/geom"
+)
+
+// visBenchSizes is the N sweep of the visibility-kernel baseline,
+// mirroring kernelBenchSizes in internal/geom/bench_test.go.
+var visBenchSizes = []int{64, 256, 1024, 4096}
+
+// VisBenchHost identifies the machine a baseline was measured on; a
+// single-core host cannot show the kernel's parallel fan-out, so the
+// core count is part of the record.
+type VisBenchHost struct {
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"numCPU"`
+	// KernelWorkers is the worker count NewKernel(0) resolved to.
+	KernelWorkers int `json:"kernelWorkers"`
+}
+
+// VisBenchRow is one swarm size's measurements. "Pass" means resolving
+// all N visibility rows once: the kernel does it as one batched
+// zero-allocation computation, the per-Look baseline as N independent
+// allocating VisibleSetFast calls (what the engine paid per cycle of
+// Looks before the kernel), and the incremental pass re-reads all N
+// rows after a single-robot move, revalidating unaffected rows instead
+// of recomputing them.
+type VisBenchRow struct {
+	N                  int     `json:"n"`
+	KernelNsPerPass    int64   `json:"kernelNsPerPass"`
+	PerLookNsPerPass   int64   `json:"perLookNsPerPass"`
+	IncrementalNsPass  int64   `json:"incrementalNsPerPass"`
+	KernelAllocsPass   int64   `json:"kernelAllocsPerPass"`
+	PerLookAllocsPass  int64   `json:"perLookAllocsPerPass"`
+	SpeedupFull        float64 `json:"speedupFull"`
+	SpeedupIncremental float64 `json:"speedupIncremental"`
+}
+
+// VisBenchReport is the BENCH_visibility.json schema.
+type VisBenchReport struct {
+	Host  VisBenchHost  `json:"host"`
+	Sizes []VisBenchRow `json:"sizes"`
+	Notes []string      `json:"notes"`
+}
+
+func visBenchPoints(n int) []geom.Point {
+	rng := rand.New(rand.NewSource(2)) // matches internal/geom bench seed
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	return pts
+}
+
+// runVisibilityBench measures the kernel against the per-Look baseline
+// and writes the JSON baseline to w.
+func runVisibilityBench(w io.Writer) error {
+	kern := geom.NewKernel(0)
+	workers := kern.Workers()
+	kern.Close()
+
+	rep := VisBenchReport{
+		Host: VisBenchHost{
+			GoVersion:     runtime.Version(),
+			GOOS:          runtime.GOOS,
+			GOARCH:        runtime.GOARCH,
+			NumCPU:        runtime.NumCPU(),
+			KernelWorkers: workers,
+		},
+		Notes: []string{
+			"A pass resolves all N visibility rows once; ns figures are per pass.",
+			"kernel: one batched Snapshot Reset+ComputeAll (arena-backed, zero allocations when warm).",
+			"perLook: N independent VisibleSetFast calls, each allocating its own scratch — the pre-kernel engine cost per cycle of Looks.",
+			"incremental: one Snapshot.Update (single-robot move) followed by re-reading all N rows; rows the move provably cannot affect revalidate instead of recomputing.",
+			"speedupFull = perLook/kernel, speedupIncremental = perLook/incremental, on this host.",
+			"On a single-core host (numCPU=1) the kernel runs its serial path; the parallel fan-out adds on multi-core hosts.",
+		},
+	}
+
+	for _, n := range visBenchSizes {
+		pts := visBenchPoints(n)
+
+		kernRes := testing.Benchmark(func(b *testing.B) {
+			kern := geom.NewKernel(0)
+			defer kern.Close()
+			snap := kern.NewSnapshot()
+			snap.Reset(pts)
+			snap.ComputeAll()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap.Reset(pts)
+				snap.ComputeAll()
+			}
+		})
+
+		lookRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < n; r++ {
+					_ = geom.VisibleSetFast(pts, r)
+				}
+			}
+		})
+
+		incRes := testing.Benchmark(func(b *testing.B) {
+			kern := geom.NewKernel(0)
+			defer kern.Close()
+			snap := kern.NewSnapshot()
+			snap.Reset(pts)
+			snap.ComputeAll()
+			home := pts[n/2]
+			away := geom.Pt(home.X+431.7, home.Y-219.3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					snap.Update(n/2, away)
+				} else {
+					snap.Update(n/2, home)
+				}
+				for r := 0; r < n; r++ {
+					_ = snap.Row(r)
+				}
+			}
+		})
+
+		row := VisBenchRow{
+			N:                 n,
+			KernelNsPerPass:   kernRes.NsPerOp(),
+			PerLookNsPerPass:  lookRes.NsPerOp(),
+			IncrementalNsPass: incRes.NsPerOp(),
+			KernelAllocsPass:  int64(kernRes.AllocsPerOp()),
+			PerLookAllocsPass: int64(lookRes.AllocsPerOp()),
+		}
+		if row.KernelNsPerPass > 0 {
+			row.SpeedupFull = float64(row.PerLookNsPerPass) / float64(row.KernelNsPerPass)
+		}
+		if row.IncrementalNsPass > 0 {
+			row.SpeedupIncremental = float64(row.PerLookNsPerPass) / float64(row.IncrementalNsPass)
+		}
+		rep.Sizes = append(rep.Sizes, row)
+		fmt.Fprintf(os.Stderr, "visbench: n=%d kernel=%dns perLook=%dns incremental=%dns (full %.2fx, incremental %.2fx)\n",
+			n, row.KernelNsPerPass, row.PerLookNsPerPass, row.IncrementalNsPass,
+			row.SpeedupFull, row.SpeedupIncremental)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package geom_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are meaningless under its shadow-memory
+// bookkeeping and skip themselves.
+const raceEnabled = true

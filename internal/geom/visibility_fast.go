@@ -16,11 +16,43 @@ import (
 // the directions of all other robots from k, folded modulo π, are
 // pairwise distinct. Folding and sorting gives O(n log n) per robot.
 
-// angleFoldTol is the angular tolerance for treating two folded
-// directions as collinear candidates. Candidates are confirmed with the
-// cross-product predicate, so the tolerance only has to be loose enough
-// to never miss a true collinearity.
+// angleFoldTol is the floor of the angular tolerance for treating two
+// folded directions as collinear candidates. Candidates are confirmed
+// with the cross-product predicate, so the tolerance only has to be loose
+// enough to never miss a true collinearity — which is scale-dependent:
+// AreCollinear accepts |cross| up to Eps·max(‖d_i‖₁, ‖d_j‖₁, 1), an
+// angular acceptance that grows like Eps·diameter/dist² when points sit
+// close together relative to the set's diameter. foldTol widens the
+// tolerance accordingly per observer; this constant alone is only
+// sufficient for well-spread configurations.
 const angleFoldTol = 1e-6
+
+// maxFoldTol caps the adaptive tolerance. An observer whose bound
+// exceeds it has a neighbor so close that direction bucketing cannot
+// separate anything reliably; scans then fall back to confirming all
+// pairs for that observer (quadratic, but only for degenerate inputs).
+const maxFoldTol = 0.1
+
+// foldTol returns the angular clustering tolerance for an observer whose
+// rays to the other points have minimum squared length minD2 and maximum
+// L1 length maxL1. The bound dominates the angular acceptance of the
+// Orient/AreCollinear predicates (≈ Eps·max(maxL1,1)/minD2, see Orient's
+// scaled tolerance), with a 4× margin absorbing atan2 rounding and the
+// fold. ok=false signals the degenerate fallback.
+func foldTol(minD2, maxL1 float64) (tol float64, ok bool) {
+	scale := maxL1
+	if scale < 1 {
+		scale = 1
+	}
+	bound := 4 * Eps * scale / minD2
+	if bound > maxFoldTol || math.IsNaN(bound) {
+		return 0, false
+	}
+	if bound < angleFoldTol {
+		bound = angleFoldTol
+	}
+	return bound, true
+}
 
 // Triple records a collinear triple (A, B, Blocker): Blocker lies on the
 // line through A and B (not necessarily between them).
@@ -35,7 +67,7 @@ type Triple struct {
 // maxTriples truncates the scan (0 = unlimited) since one triple already
 // refutes CV.
 func CollinearTriples(pts []Point, maxTriples int) []Triple {
-	return collinearScan(pts, angleFoldTol, true, maxTriples)
+	return collinearScan(pts, 0, true, maxTriples)
 }
 
 // CollinearCandidates is the unconfirmed variant of CollinearTriples: it
@@ -43,7 +75,9 @@ func CollinearTriples(pts []Point, maxTriples int) []Triple {
 // the float collinearity confirmation. The exact checker uses it as a
 // superset filter: every exactly-collinear triple has a folded-angle gap
 // far below any reasonable tol, so confirming only the candidates with
-// exact arithmetic decides Complete Visibility exactly.
+// exact arithmetic decides Complete Visibility exactly. tol acts as a
+// floor — per observer the scan widens it to the scale-aware foldTol
+// bound, so the superset contract holds at any coordinate magnitude.
 func CollinearCandidates(pts []Point, tol float64) []Triple {
 	if tol <= 0 {
 		tol = angleFoldTol
@@ -51,92 +85,154 @@ func CollinearCandidates(pts []Point, tol float64) []Triple {
 	return collinearScan(pts, tol, false, 0)
 }
 
-func collinearScan(pts []Point, tol float64, confirm bool, maxTriples int) []Triple {
+// dir is one folded direction from a scan observer.
+type dir struct {
+	phi float64 // pseudo-angle folded to [0, 2), i.e. direction mod π
+	idx int
+}
+
+// collinearObserver scans a single observer k: it folds the directions of
+// all other points modulo π, clusters them circularly (the runs near 0
+// and near π chain across the fold, mirroring the ±π branch cut handling
+// of visibleRow), and calls emit for every pair within a run. Degenerate
+// pairs (coincident with k) and observers whose adaptive tolerance
+// blows past maxFoldTol emit with confirmable=false / all pairs
+// respectively. dirs is reusable caller-owned scratch. A true return
+// from emit stops the scan and propagates.
+func collinearObserver(pts []Point, k int, floorTol float64, dirs []dir, emit func(a, b int, confirmable bool) bool) ([]dir, bool) {
+	dirs = dirs[:0]
+	minD2 := math.Inf(1)
+	maxL1 := 0.0
+	for j := range pts {
+		if j == k {
+			continue
+		}
+		d := pts[j].Sub(pts[k])
+		d2 := d.Norm2()
+		if d2 == 0 {
+			// Coincident points: report as a degenerate pair so callers
+			// fail the configuration.
+			if emit(j, j, false) {
+				return dirs, true
+			}
+			continue
+		}
+		phi := pseudoAngle(d)
+		if phi < 0 {
+			phi += 2
+		}
+		if phi >= 2 {
+			phi -= 2
+		}
+		dirs = append(dirs, dir{phi: phi, idx: j})
+		if d2 < minD2 {
+			minD2 = d2
+		}
+		if l1 := abs(d.X) + abs(d.Y); l1 > maxL1 {
+			maxL1 = l1
+		}
+	}
+	if len(dirs) < 2 {
+		return dirs, false
+	}
+	tol, ok := foldTol(minD2, maxL1)
+	if !ok {
+		// Degenerate observer: bucketing is meaningless, emit every pair
+		// and let the confirmation predicate decide.
+		for a := 0; a < len(dirs); a++ {
+			for b := a + 1; b < len(dirs); b++ {
+				if emit(dirs[a].idx, dirs[b].idx, true) {
+					return dirs, true
+				}
+			}
+		}
+		return dirs, false
+	}
+	if tol < floorTol {
+		tol = floorTol
+	}
+	slices.SortFunc(dirs, func(a, b dir) int {
+		switch {
+		case a.phi < b.phi:
+			return -1
+		case a.phi > b.phi:
+			return 1
+		default:
+			return 0
+		}
+	})
+	// Cluster the sorted folded pseudo-angles into circular runs of
+	// near-equal direction and emit every pair within a run:
+	// adjacent-only comparison could miss a collinear pair separated by
+	// a third, almost-collinear direction between them, and runs near 0
+	// and near the fold boundary 2 are the same line, so clustering
+	// wraps around the fold. Pseudo-angle gaps understate radian gaps
+	// (by at most 2×), so a radian-derived tolerance only ever widens
+	// the candidate set here.
+	m := len(dirs)
+	gapAfter := func(j int) float64 {
+		if j == m-1 {
+			return dirs[0].phi + 2 - dirs[m-1].phi
+		}
+		return dirs[j+1].phi - dirs[j].phi
+	}
+	start := -1
+	for j := 0; j < m; j++ {
+		if gapAfter(j) >= tol {
+			start = (j + 1) % m
+			break
+		}
+	}
+	if start < 0 {
+		// All folded directions chain into one run.
+		for a := 0; a < m; a++ {
+			for b := a + 1; b < m; b++ {
+				if emit(dirs[a].idx, dirs[b].idx, true) {
+					return dirs, true
+				}
+			}
+		}
+		return dirs, false
+	}
+	for consumed, lo := 0, start; consumed < m; {
+		runLen := 1
+		for consumed+runLen < m && gapAfter((lo+runLen-1)%m) < tol {
+			runLen++
+		}
+		for a := 0; a < runLen; a++ {
+			for b := a + 1; b < runLen; b++ {
+				if emit(dirs[(lo+a)%m].idx, dirs[(lo+b)%m].idx, true) {
+					return dirs, true
+				}
+			}
+		}
+		consumed += runLen
+		lo = (lo + runLen) % m
+	}
+	return dirs, false
+}
+
+func collinearScan(pts []Point, floorTol float64, confirm bool, maxTriples int) []Triple {
 	n := len(pts)
 	var out []Triple
-	type dir struct {
-		phi float64 // direction folded to [0, π)
-		idx int
-	}
 	dirs := make([]dir, 0, n)
-	emit := func(a, b, k int) bool {
-		if confirm && !AreCollinear(pts[k], pts[a], pts[b]) {
-			return false
-		}
-		out = append(out, Triple{A: a, B: b, Blocker: k})
-		return maxTriples > 0 && len(out) >= maxTriples
-	}
 	for k := 0; k < n; k++ {
-		dirs = dirs[:0]
-		for j := 0; j < n; j++ {
-			if j == k {
-				continue
+		var stop bool
+		dirs, stop = collinearObserver(pts, k, floorTol, dirs, func(a, b int, confirmable bool) bool {
+			if confirmable && confirm && !AreCollinear(pts[k], pts[a], pts[b]) {
+				return false
 			}
-			d := pts[j].Sub(pts[k])
-			if d.Norm2() == 0 {
-				// Coincident points: report as a degenerate triple with
-				// the duplicate as blocker so callers fail the config.
-				out = append(out, Triple{A: k, B: j, Blocker: j})
-				continue
+			if !confirmable {
+				// Coincident pair (k, a): preserve the degenerate-triple
+				// shape with the duplicate as blocker.
+				out = append(out, Triple{A: k, B: a, Blocker: b})
+				return false
 			}
-			phi := math.Atan2(d.Y, d.X)
-			if phi < 0 {
-				phi += math.Pi
-			}
-			if phi >= math.Pi {
-				phi -= math.Pi
-			}
-			dirs = append(dirs, dir{phi: phi, idx: j})
-		}
-		slices.SortFunc(dirs, func(a, b dir) int {
-			switch {
-			case a.phi < b.phi:
-				return -1
-			case a.phi > b.phi:
-				return 1
-			default:
-				return 0
-			}
+			out = append(out, Triple{A: a, B: b, Blocker: k})
+			return maxTriples > 0 && len(out) >= maxTriples
 		})
-		// Cluster the sorted angles into runs of near-equal direction and
-		// emit every pair within a run: adjacent-only comparison could
-		// miss a collinear pair separated by a third, almost-collinear
-		// direction sitting between them.
-		for i := 0; i < len(dirs); {
-			j := i + 1
-			for j < len(dirs) && dirs[j].phi-dirs[j-1].phi < tol {
-				j++
-			}
-			for a := i; a < j; a++ {
-				for b := a + 1; b < j; b++ {
-					if emit(dirs[a].idx, dirs[b].idx, k) {
-						return out
-					}
-				}
-			}
-			i = j
-		}
-		// Wrap-around: angles near 0 and near π fold to the same line.
-		// Pair the leading run with the trailing run when the folded gap
-		// closes, unless the whole set was a single run already.
-		if len(dirs) >= 2 && dirs[len(dirs)-1].phi-dirs[0].phi >= tol {
-			lo := 0
-			for lo+1 < len(dirs) && dirs[lo+1].phi-dirs[lo].phi < tol {
-				lo++
-			}
-			hi := len(dirs) - 1
-			for hi-1 >= 0 && dirs[hi].phi-dirs[hi-1].phi < tol {
-				hi--
-			}
-			if dirs[0].phi+math.Pi-dirs[len(dirs)-1].phi < tol && hi > lo {
-				for a := 0; a <= lo; a++ {
-					for b := hi; b < len(dirs); b++ {
-						if emit(dirs[a].idx, dirs[b].idx, k) {
-							return out
-						}
-					}
-				}
-			}
+		if stop {
+			return out
 		}
 	}
 	return out
@@ -146,6 +242,8 @@ func collinearScan(pts []Point, tol float64, confirm bool, maxTriples int) []Tri
 // pairwise mutually visible, in O(n² log n). It agrees with
 // CompleteVisibility up to float tolerance; the engine's terminal
 // verification re-confirms suspicious triples with exact arithmetic.
+// Kernel.CompleteVisibilityFast is the multi-core variant with an
+// identical verdict.
 func CompleteVisibilityFast(pts []Point) bool {
 	for i := 0; i < len(pts); i++ {
 		for j := i + 1; j < len(pts); j++ {

@@ -1,0 +1,54 @@
+package geom_test
+
+// Fuzz target for the incremental snapshot path, sharing the int8-grid
+// input format of FuzzVisibleAgainstNaive (its checked-in corpus seeds
+// this target directly): the last three bytes pick the moving robot and
+// its destination, the rest decodes the start configuration. After the
+// move, every snapshot row must agree with a from-scratch VisibleSetFast
+// and with the O(n²) reference.
+
+import (
+	"slices"
+	"testing"
+
+	"luxvis/internal/geom"
+)
+
+func FuzzSnapshotUpdate(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 3, 0, 1, 4, 0})           // chain, robot 1 stays on the line
+	f.Add([]byte{0, 0, 10, 0, 5, 0, 5, 5, 3, 5, 255})        // blocker flips sides
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 0, 7, 7})                 // coincident pair separates
+	f.Add([]byte{251, 0, 5, 0, 0, 0, 0, 5, 0, 251, 2, 3, 3}) // spokes, center leaves
+	f.Add([]byte{128, 128, 127, 127, 0, 0, 1, 128, 127})     // extreme corners
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 7 {
+			return
+		}
+		mv := data[len(data)-3:]
+		pts := decodePoints(data[:len(data)-3])
+		if len(pts) < 2 {
+			return
+		}
+		kern := geom.NewKernel(2)
+		defer kern.Close()
+		snap := kern.NewSnapshot()
+		snap.Reset(pts)
+		snap.ComputeAll()
+		m := int(mv[0]) % len(pts)
+		np := geom.Pt(float64(int8(mv[1])), float64(int8(mv[2])))
+		snap.Update(m, np)
+		cur := slices.Clone(pts)
+		cur[m] = np
+		for r := range cur {
+			got := snap.Row(r)
+			if want := geom.VisibleSetFast(cur, r); !slices.Equal(got, want) {
+				t.Fatalf("after moving %d to %v: Row(%d) = %v, VisibleSetFast = %v (pts=%v)",
+					m, np, r, got, want, cur)
+			}
+			if ref := geom.VisibleFrom(cur, r); !slices.Equal(got, ref) {
+				t.Fatalf("after moving %d to %v: Row(%d) = %v, reference VisibleFrom = %v (pts=%v)",
+					m, np, r, got, ref, cur)
+			}
+		}
+	})
+}

@@ -43,6 +43,14 @@ type EngineTotals struct {
 	violations   [len(violationKinds) + 1]atomic.Int64
 	phaseCycles  [sim.NumPhases]atomic.Int64
 	phaseMoves   [sim.NumPhases]atomic.Int64
+
+	// Visibility-kernel counters, accumulated from Result.Kernel at
+	// RunEnd (see sim.KernelStats).
+	visRowsComputed atomic.Int64
+	visRowsReused   atomic.Int64
+	visCVChecks     atomic.Int64
+	visLookNanos    atomic.Int64
+	visCVNanos      atomic.Int64
 }
 
 // NewEngineTotals returns a zeroed accumulator.
@@ -83,6 +91,11 @@ func (t *EngineTotals) RunEnd(res *sim.Result, aborted error) {
 	if res.Reached {
 		t.cvReached.Add(1)
 	}
+	t.visRowsComputed.Add(res.Kernel.RowsComputed)
+	t.visRowsReused.Add(res.Kernel.RowsReused)
+	t.visCVChecks.Add(res.Kernel.CVChecks)
+	t.visLookNanos.Add(res.Kernel.LookNanos)
+	t.visCVNanos.Add(res.Kernel.CVNanos)
 }
 
 // EngineTotalsSnapshot is a point-in-time copy of EngineTotals.
@@ -101,6 +114,15 @@ type EngineTotalsSnapshot struct {
 	// PhaseCycles and PhaseMoves map phase names to lifetime counts.
 	PhaseCycles map[string]int64
 	PhaseMoves  map[string]int64
+	// Visibility-kernel totals (see sim.KernelStats): rows computed
+	// from scratch versus served by incremental revalidation, CV
+	// evaluations, and the time both spent (nanoseconds are zero for
+	// runs without timing, i.e. when only row counters were collected).
+	VisRowsComputed int64
+	VisRowsReused   int64
+	VisCVChecks     int64
+	VisLookNanos    int64
+	VisCVNanos      int64
 }
 
 // Snapshot copies the counters.
@@ -117,6 +139,12 @@ func (t *EngineTotals) Snapshot() EngineTotalsSnapshot {
 		Violations:   make(map[string]int64, len(violationKinds)+1),
 		PhaseCycles:  make(map[string]int64, sim.NumPhases),
 		PhaseMoves:   make(map[string]int64, sim.NumPhases),
+
+		VisRowsComputed: t.visRowsComputed.Load(),
+		VisRowsReused:   t.visRowsReused.Load(),
+		VisCVChecks:     t.visCVChecks.Load(),
+		VisLookNanos:    t.visLookNanos.Load(),
+		VisCVNanos:      t.visCVNanos.Load(),
 	}
 	for i, k := range violationKinds {
 		s.Violations[string(k)] = t.violations[i].Load()
@@ -154,4 +182,14 @@ func (t *EngineTotals) WritePrometheus(w *TextWriter, prefix string) {
 		w.Counter(prefix+"_phase_moves_total", "Completed relocations by phase attribution.",
 			float64(t.phaseMoves[p].Load()), Label{Name: "phase", Value: p.String()})
 	}
+	w.Counter(prefix+"_vis_rows_total", "Visibility rows resolved, by path (computed from scratch or reused via incremental revalidation).",
+		float64(t.visRowsComputed.Load()), Label{Name: "path", Value: "computed"})
+	w.Counter(prefix+"_vis_rows_total", "Visibility rows resolved, by path (computed from scratch or reused via incremental revalidation).",
+		float64(t.visRowsReused.Load()), Label{Name: "path", Value: "reused"})
+	w.Counter(prefix+"_vis_cv_checks_total", "Complete Visibility evaluations (CV-cache misses).",
+		float64(t.visCVChecks.Load()))
+	w.Counter(prefix+"_vis_look_seconds_total", "Wall time spent computing snapshot visibility rows.",
+		float64(t.visLookNanos.Load())/1e9)
+	w.Counter(prefix+"_vis_cv_seconds_total", "Wall time spent in Complete Visibility checks.",
+		float64(t.visCVNanos.Load())/1e9)
 }

@@ -20,8 +20,10 @@ func TestEngineTotalsSnapshot(t *testing.T) {
 	tot.EpochEnd(sim.EpochSample{Epoch: 1})
 	tot.ViolationFound(sim.Violation{Kind: sim.VPalette})
 	tot.ViolationFound(sim.Violation{Kind: "mystery"})
-	tot.RunEnd(&sim.Result{Reached: true}, nil)
-	tot.RunEnd(&sim.Result{}, errors.New("ctx"))
+	tot.RunEnd(&sim.Result{Reached: true, Kernel: sim.KernelStats{
+		RowsComputed: 100, RowsReused: 40, CVChecks: 7, LookNanos: 1500, CVNanos: 300,
+	}}, nil)
+	tot.RunEnd(&sim.Result{Kernel: sim.KernelStats{RowsComputed: 10}}, errors.New("ctx"))
 
 	s := tot.Snapshot()
 	if s.RunsStarted != 1 || s.RunsFinished != 2 || s.RunsAborted != 1 || s.CVReached != 1 {
@@ -48,6 +50,11 @@ func TestEngineTotalsSnapshot(t *testing.T) {
 		if _, ok := s.PhaseCycles[p.String()]; !ok {
 			t.Errorf("missing phase key %q", p)
 		}
+	}
+	// Kernel counters accumulate across runs, aborted ones included.
+	if s.VisRowsComputed != 110 || s.VisRowsReused != 40 || s.VisCVChecks != 7 ||
+		s.VisLookNanos != 1500 || s.VisCVNanos != 300 {
+		t.Errorf("kernel counters: %+v", s)
 	}
 }
 
@@ -93,6 +100,9 @@ func TestEngineTotalsWritePrometheus(t *testing.T) {
 	tot.RunStart(sim.RunInfo{})
 	tot.CycleEnd(sim.CycleInfo{Phase: sim.PhaseEdge})
 	tot.ViolationFound(sim.Violation{Kind: sim.VPathCross})
+	tot.RunEnd(&sim.Result{Kernel: sim.KernelStats{
+		RowsComputed: 5, RowsReused: 3, CVChecks: 2, LookNanos: 2_000_000_000,
+	}}, nil)
 	var sb strings.Builder
 	w := NewTextWriter(&sb)
 	tot.WritePrometheus(w, "luxvis_engine")
@@ -105,6 +115,10 @@ func TestEngineTotalsWritePrometheus(t *testing.T) {
 		`luxvis_engine_violations_total{kind="path-cross"} 1`,
 		`luxvis_engine_phase_cycles_total{phase="edge-depletion"} 1`,
 		`luxvis_engine_phase_cycles_total{phase="other"} 0`,
+		`luxvis_engine_vis_rows_total{path="computed"} 5`,
+		`luxvis_engine_vis_rows_total{path="reused"} 3`,
+		"luxvis_engine_vis_cv_checks_total 2",
+		"luxvis_engine_vis_look_seconds_total 2",
 	} {
 		if !strings.Contains(out, want+"\n") {
 			t.Errorf("missing %q in:\n%s", want, out)

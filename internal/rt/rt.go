@@ -192,6 +192,9 @@ func robotLoop(ctx context.Context, w *world, algo model.Algorithm, id int, rng 
 			return true
 		}
 	}
+	// Per-robot row cache: Look computes its visibility row under the
+	// world lock without allocating once the cache is warm.
+	var rc geom.RowCache
 	for {
 		if !nap() {
 			return
@@ -199,7 +202,7 @@ func robotLoop(ctx context.Context, w *world, algo model.Algorithm, id int, rng 
 		// Look.
 		w.mu.Lock()
 		lookSeq := w.changeSeq
-		snap := snapshotLocked(w, id)
+		snap := snapshotLocked(w, id, &rc)
 		w.mu.Unlock()
 
 		if !nap() {
@@ -250,10 +253,12 @@ func robotLoop(ctx context.Context, w *world, algo model.Algorithm, id int, rng 
 	}
 }
 
-// snapshotLocked builds robot id's obstructed-visibility snapshot; the
-// caller holds w.mu.
-func snapshotLocked(w *world, id int) model.Snapshot {
-	vis := geom.VisibleSetFast(w.pos, id)
+// snapshotLocked builds robot id's obstructed-visibility snapshot using
+// the robot's own row cache; the caller holds w.mu. Pure computation —
+// no channel operations or callbacks — so it is locksafe-clean under
+// the world lock.
+func snapshotLocked(w *world, id int, rc *geom.RowCache) model.Snapshot {
+	vis := rc.VisibleSet(w.pos, id)
 	others := make([]model.RobotView, len(vis))
 	for k, j := range vis {
 		others[k] = model.RobotView{Pos: w.pos[j], Color: w.col[j]}
@@ -270,6 +275,11 @@ func snapshotLocked(w *world, id int) model.Snapshot {
 // world lock) at each boundary.
 func monitor(ctx context.Context, w *world, n int, obs sim.Observer) Result {
 	res := Result{}
+	// The CV check runs on a position copy outside the world lock, so
+	// the kernel's worker fan-out (channel sends) never happens under
+	// w.mu.
+	kern := geom.NewKernel(0)
+	defer kern.Close()
 	epochMark := make([]int, n)
 	tick := time.NewTicker(500 * time.Microsecond)
 	defer tick.Stop()
@@ -320,7 +330,7 @@ func monitor(ctx context.Context, w *world, n int, obs sim.Observer) Result {
 		}
 		if stable {
 			if pos != nil {
-				cvCached = geom.CompleteVisibilityFast(pos)
+				cvCached = kern.CompleteVisibilityFast(pos)
 				lastSeqChecked = seq
 			}
 			if cvCached {

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"luxvis/internal/sim"
+)
+
+// baseReq mirrors the defaults parseRunRequest fills in.
+func baseReq() RunRequest {
+	return RunRequest{Algorithm: "logvis", Scheduler: "async-random", Family: "uniform", N: 32, Seed: 1}
+}
+
+// TestCacheKeyCanonicalPairs pins the canonicalization contract: a
+// request spelling a default explicitly and one omitting it are the
+// same run, so they must hash to the same cache entry; requests whose
+// engine-visible parameters differ must not.
+func TestCacheKeyCanonicalPairs(t *testing.T) {
+	mod := func(f func(*RunRequest)) RunRequest {
+		r := baseReq()
+		f(&r)
+		return r
+	}
+	equivalent := []struct {
+		name string
+		a, b RunRequest
+	}{
+		{"explicit default maxEpochs",
+			baseReq(),
+			mod(func(r *RunRequest) { r.MaxEpochs = sim.DefaultMaxEpochs })},
+		{"explicit default minMoveFrac on non-rigid",
+			mod(func(r *RunRequest) { r.NonRigid = true }),
+			mod(func(r *RunRequest) { r.NonRigid = true; r.MinMoveFrac = sim.DefaultMinMoveFrac })},
+		{"minMoveFrac ignored on rigid runs",
+			baseReq(),
+			mod(func(r *RunRequest) { r.MinMoveFrac = 0.7 })},
+		{"timeout is not part of the run identity",
+			baseReq(),
+			mod(func(r *RunRequest) { r.TimeoutMs = 5000 })},
+	}
+	for _, tc := range equivalent {
+		if ka, kb := tc.a.cacheKey(), tc.b.cacheKey(); ka != kb {
+			t.Errorf("%s: keys differ:\n  %s\n  %s", tc.name, ka, kb)
+		}
+	}
+	distinct := []struct {
+		name string
+		a, b RunRequest
+	}{
+		{"minMoveFrac changes non-rigid runs",
+			mod(func(r *RunRequest) { r.NonRigid = true; r.MinMoveFrac = 0.3 }),
+			mod(func(r *RunRequest) { r.NonRigid = true; r.MinMoveFrac = 0.5 })},
+		{"maxEpochs below the default is a different run",
+			baseReq(),
+			mod(func(r *RunRequest) { r.MaxEpochs = 100 })},
+		{"rigid and non-rigid differ",
+			baseReq(),
+			mod(func(r *RunRequest) { r.NonRigid = true })},
+		{"skipChecks differs",
+			baseReq(),
+			mod(func(r *RunRequest) { r.SkipChecks = true })},
+	}
+	for _, tc := range distinct {
+		if ka, kb := tc.a.cacheKey(), tc.b.cacheKey(); ka == kb {
+			t.Errorf("%s: keys collide: %s", tc.name, ka)
+		}
+	}
+}
+
+// TestValidateRejectsNonFiniteMinMoveFrac covers the float boundary:
+// NaN slips through naive range checks (NaN<=0 and NaN>1 are both
+// false) and would both bypass the engine clamp and mint an
+// unmatchable cache key, so validate must reject it outright.
+func TestValidateRejectsNonFiniteMinMoveFrac(t *testing.T) {
+	s := New(Options{})
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.1, 1.5} {
+		req := baseReq()
+		req.NonRigid = true
+		req.MinMoveFrac = bad
+		if _, _, _, err := s.validate(req); err == nil {
+			t.Errorf("validate accepted minMoveFrac=%v", bad)
+		} else if !strings.Contains(err.Error(), "minMoveFrac") {
+			t.Errorf("minMoveFrac=%v: error does not name the field: %v", bad, err)
+		}
+	}
+	req := baseReq()
+	req.NonRigid = true
+	req.MinMoveFrac = 0.5
+	if _, _, _, err := s.validate(req); err != nil {
+		t.Errorf("validate rejected valid minMoveFrac=0.5: %v", err)
+	}
+}

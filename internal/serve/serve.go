@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -225,7 +226,11 @@ type RunRequest struct {
 	N         int    `json:"n"`         // default 32
 	Seed      int64  `json:"seed"`      // default 1
 	NonRigid  bool   `json:"nonRigid"`
-	MaxEpochs int    `json:"maxEpochs"` // default engine default (4096)
+	// MinMoveFrac is the guaranteed fraction of a non-rigid move, in
+	// (0, 1] (default 0.3). Only meaningful with nonRigid; ignored (and
+	// absent from the run's cache identity) otherwise.
+	MinMoveFrac float64 `json:"minMoveFrac"`
+	MaxEpochs   int     `json:"maxEpochs"` // default engine default (4096)
 	// SkipChecks disables per-step safety verification — the engine's
 	// raw-throughput mode for large N.
 	SkipChecks bool `json:"skipChecks"`
@@ -377,6 +382,13 @@ func parseRunRequest(r *http.Request) (RunRequest, error) {
 			}
 			req.Seed = x
 		}
+		if v := q.Get("minMoveFrac"); v != "" {
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return req, fmt.Errorf("bad minMoveFrac=%q: %w", v, err)
+			}
+			req.MinMoveFrac = x
+		}
 		for _, f := range []struct {
 			name string
 			dst  *bool
@@ -444,16 +456,50 @@ func (s *Server) validate(req RunRequest) (model.Algorithm, sched.Scheduler, con
 	if req.TimeoutMs < 0 {
 		return nil, nil, "", fmt.Errorf("timeoutMs=%d must be >= 0", req.TimeoutMs)
 	}
+	// Non-finite floats must be rejected here: the engine's own range
+	// clamp is written as `!(f > 0 && f <= 1)` so NaN falls back to the
+	// default there, but a NaN reaching cacheKey would also stringify to
+	// a key no equivalent request ever matches. 0 means "default".
+	if math.IsNaN(req.MinMoveFrac) || math.IsInf(req.MinMoveFrac, 0) {
+		return nil, nil, "", fmt.Errorf("minMoveFrac=%v must be finite", req.MinMoveFrac)
+	}
+	if req.MinMoveFrac < 0 || req.MinMoveFrac > 1 {
+		return nil, nil, "", fmt.Errorf("minMoveFrac=%v out of range [0, 1]", req.MinMoveFrac)
+	}
 	return algo, scheduler, fam, nil
 }
 
-// cacheKey is the canonical identity of a run. Everything that can
-// change the Result is in here; the timeout is not (it changes whether
-// a run finishes, not what a finished run computes).
+// canonical returns req with every defaultable field resolved to the
+// value the engine will actually run with: maxEpochs=0 becomes the
+// engine default, minMoveFrac collapses to 0 for rigid runs (the engine
+// never reads it) and to the engine default for non-rigid runs that
+// left it unset. Requests that are equivalent — one spelling a default
+// explicitly, the other omitting it — canonicalize identically, so
+// they share one cache entry and one in-flight job. Must be called
+// after validate: it assumes finite, in-range numeric fields.
+func (req RunRequest) canonical() RunRequest {
+	c := req
+	if c.MaxEpochs == 0 {
+		c.MaxEpochs = sim.DefaultMaxEpochs
+	}
+	if !c.NonRigid {
+		c.MinMoveFrac = 0
+		//lint:allow floateq exact 0 is the wire sentinel for "unset", not a computed value
+	} else if c.MinMoveFrac == 0 {
+		c.MinMoveFrac = sim.DefaultMinMoveFrac
+	}
+	return c
+}
+
+// cacheKey is the canonical identity of a run: the request is
+// canonicalized first, then every field that can change the Result is
+// formatted in. The timeout is not part of the identity (it changes
+// whether a run finishes, not what a finished run computes).
 func (req RunRequest) cacheKey() string {
-	return fmt.Sprintf("%s|%s|%s|n=%d|seed=%d|nonRigid=%t|maxEpochs=%d|skipChecks=%t",
-		req.Algorithm, req.Scheduler, req.Family, req.N, req.Seed,
-		req.NonRigid, req.MaxEpochs, req.SkipChecks)
+	c := req.canonical()
+	return fmt.Sprintf("%s|%s|%s|n=%d|seed=%d|nonRigid=%t|minMoveFrac=%g|maxEpochs=%d|skipChecks=%t",
+		c.Algorithm, c.Scheduler, c.Family, c.N, c.Seed,
+		c.NonRigid, c.MinMoveFrac, c.MaxEpochs, c.SkipChecks)
 }
 
 func (s *Server) timeoutFor(ms int) time.Duration {
@@ -496,13 +542,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		done:   make(chan struct{}),
 		server: s,
 		run: func(ctx context.Context) (*RunSummary, error) {
-			pts := config.Generate(fam, req.N, req.Seed)
-			opt := sim.DefaultOptions(scheduler, req.Seed)
-			if req.MaxEpochs > 0 {
-				opt.MaxEpochs = req.MaxEpochs
+			c := req.canonical()
+			pts := config.Generate(fam, c.N, c.Seed)
+			opt := sim.DefaultOptions(scheduler, c.Seed)
+			opt.MaxEpochs = c.MaxEpochs
+			opt.NonRigid = c.NonRigid
+			if c.NonRigid {
+				opt.MinMoveFrac = c.MinMoveFrac
 			}
-			opt.NonRigid = req.NonRigid
-			opt.SkipSafetyChecks = req.SkipChecks
+			opt.SkipSafetyChecks = c.SkipChecks
 			// Lifetime engine totals for /metrics plus a per-run epoch
 			// tracker for /debug/runs; both are lock-free on the engine
 			// side.

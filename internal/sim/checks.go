@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
 	"luxvis/internal/exact"
 	"luxvis/internal/geom"
@@ -36,10 +37,22 @@ func (e *engine) quiescent() bool {
 
 // cvNow evaluates Complete Visibility on the current world, cached per
 // world version so the O(n² log n) check runs at most once per change.
+// The kernel variant fans the per-observer scan across workers on
+// multi-core hosts; its verdict is identical to CompleteVisibilityFast.
 func (e *engine) cvNow() bool {
 	if e.cvCacheAt != e.lastChange {
 		e.cvCacheAt = e.lastChange
-		e.cvCacheVal = geom.CompleteVisibilityFast(e.pos)
+		e.res.Kernel.CVChecks++
+		var t0 time.Time
+		if e.obs != nil {
+			//lint:allow nondet observer-gated timing counter; never influences control flow
+			t0 = time.Now()
+		}
+		e.cvCacheVal = e.vk.CompleteVisibilityFast(e.pos)
+		if e.obs != nil {
+			//lint:allow nondet observer-gated timing counter; never influences control flow
+			e.res.Kernel.CVNanos += time.Since(t0).Nanoseconds()
+		}
 	}
 	return e.cvCacheVal
 }
@@ -203,6 +216,11 @@ func (e *engine) pruneRecentMoves() {
 func (e *engine) finish() {
 	e.res.Events = e.now
 	e.res.Epochs = e.epochs
+	if e.vsnap != nil {
+		s := e.vsnap.Stats()
+		e.res.Kernel.RowsComputed = s.RowsComputed
+		e.res.Kernel.RowsReused = s.RowsReused
+	}
 	if s, ok := e.opt.Scheduler.(*sched.SSync); ok {
 		e.res.Rounds = s.Rounds()
 	}

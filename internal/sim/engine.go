@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"luxvis/internal/geom"
 	"luxvis/internal/grid"
@@ -58,10 +59,22 @@ type Options struct {
 	Observer Observer
 }
 
+// Engine defaults, applied by RunCtx to zero Options fields. Exported
+// so API layers (internal/serve) can canonicalize a request with
+// explicit default values to the same run identity as one that omits
+// them.
+const (
+	// DefaultMaxEpochs is the epoch cap when Options.MaxEpochs is zero.
+	DefaultMaxEpochs = 4096
+	// DefaultMinMoveFrac is the guaranteed non-rigid move fraction when
+	// Options.MinMoveFrac is unset or out of range.
+	DefaultMinMoveFrac = 0.3
+)
+
 // DefaultOptions returns Options with the given scheduler and seed and
 // all defaults filled in.
 func DefaultOptions(s sched.Scheduler, seed int64) Options {
-	return Options{Scheduler: s, Seed: seed, MaxEpochs: 4096, MinMoveFrac: 0.3}
+	return Options{Scheduler: s, Seed: seed, MaxEpochs: DefaultMaxEpochs, MinMoveFrac: DefaultMinMoveFrac}
 }
 
 // ViolationKind classifies a safety violation.
@@ -177,6 +190,30 @@ type Result struct {
 	Trace []TraceEvent
 	// EpochSamples has one entry per epoch boundary (SampleEpochs only).
 	EpochSamples []EpochSample
+
+	// Kernel reports the visibility kernel's work counters for the run.
+	Kernel KernelStats
+}
+
+// KernelStats summarizes the batched visibility kernel's work during a
+// run: how many rows each Look resolved from scratch versus revalidated
+// incrementally, and where the geometry time went. The nanosecond
+// counters are collected only when an Observer is attached — the
+// benchmark path (nil Observer) pays no clock reads.
+type KernelStats struct {
+	// RowsComputed counts visibility rows computed from scratch.
+	RowsComputed int64
+	// RowsReused counts rows served by incremental revalidation — the
+	// moves since the row's last computation were angularly isolated
+	// from it, so the cached row is provably still exact.
+	RowsReused int64
+	// CVChecks counts Complete Visibility evaluations (cache misses of
+	// the per-world-version CV cache).
+	CVChecks int64
+	// LookNanos and CVNanos are the wall time spent in snapshot rows
+	// and CV checks (zero without an Observer).
+	LookNanos int64
+	CVNanos   int64
 }
 
 // movePlan is a robot's in-flight relocation.
@@ -213,12 +250,17 @@ type engine struct {
 	ctx    context.Context
 	ctxErr error
 
-	pos  []geom.Point
-	col  []model.Color
-	st   []sched.Status
-	snap []model.Snapshot
-	act  []model.Action
-	plan []movePlan
+	pos []geom.Point
+	// vk and vsnap are the run's visibility kernel and its batched
+	// snapshot; vsnap mirrors pos (kept in sync at the single write site
+	// in doMoveStep) so Looks read arena-backed rows without allocating.
+	vk    *geom.Kernel
+	vsnap *geom.Snapshot
+	col   []model.Color
+	st    []sched.Status
+	snap  []model.Snapshot
+	act   []model.Action
+	plan  []movePlan
 
 	palette map[model.Color]bool
 
@@ -311,13 +353,15 @@ func RunCtx(ctx context.Context, algo model.Algorithm, start []geom.Point, opt O
 		}
 	}
 	if opt.MaxEpochs <= 0 {
-		opt.MaxEpochs = 4096
+		opt.MaxEpochs = DefaultMaxEpochs
 	}
 	if opt.MaxEvents <= 0 {
 		opt.MaxEvents = opt.MaxEpochs*n*16 + 100_000
 	}
-	if opt.MinMoveFrac <= 0 || opt.MinMoveFrac > 1 {
-		opt.MinMoveFrac = 0.3
+	// The !(inside) form also catches NaN, which would otherwise slip
+	// through both comparisons and poison every Lerp of the run.
+	if !(opt.MinMoveFrac > 0 && opt.MinMoveFrac <= 1) {
+		opt.MinMoveFrac = DefaultMinMoveFrac
 	}
 
 	e := &engine{
@@ -350,6 +394,10 @@ func RunCtx(ctx context.Context, algo model.Algorithm, start []geom.Point, opt O
 		e.snapLook[i] = -1
 	}
 	e.colorMask = 1 << uint(model.Off)
+	e.vk = geom.NewKernel(0)
+	defer e.vk.Close()
+	e.vsnap = e.vk.NewSnapshot()
+	e.vsnap.Reset(e.pos)
 	e.res = Result{
 		Algorithm:    algo.Name(),
 		Scheduler:    opt.Scheduler.Name(),
@@ -425,7 +473,16 @@ func (e *engine) advance(r int) {
 
 // doLook takes robot r's snapshot of the current world.
 func (e *engine) doLook(r int) {
-	vis := geom.VisibleSetFast(e.pos, r)
+	var t0 time.Time
+	if e.obs != nil {
+		//lint:allow nondet observer-gated timing counter; never influences control flow
+		t0 = time.Now()
+	}
+	vis := e.vsnap.Row(r)
+	if e.obs != nil {
+		//lint:allow nondet observer-gated timing counter; never influences control flow
+		e.res.Kernel.LookNanos += time.Since(t0).Nanoseconds()
+	}
 	others := make([]model.RobotView, len(vis))
 	for i, j := range vis {
 		others[i] = model.RobotView{Pos: e.pos[j], Color: e.col[j]}
@@ -505,6 +562,7 @@ func (e *engine) doMoveStep(r int) {
 		e.checkSubStep(r, old, next)
 	}
 	e.pos[r] = next
+	e.vsnap.Update(r, next)
 	if e.idx != nil {
 		e.idx.Move(r, next)
 	}
