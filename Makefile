@@ -14,9 +14,11 @@ test:
 ## lint: run the domain-aware static analysis suite (see DESIGN.md,
 ## "Static invariants"). Fails on any error-severity finding. Runs are
 ## incremental — per-package results are cached by content hash under
-## os.UserCacheDir()/luxvis-vislint.
+## os.UserCacheDir()/luxvis-vislint — and parallel across all cores
+## (output is byte-identical at any worker count).
+NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 lint:
-	$(GO) run ./cmd/vislint ./...
+	$(GO) run ./cmd/vislint -workers=$(NPROC) ./...
 
 ## lint-clean: bust the vislint result cache (use after suspecting a
 ## stale cache; keys fold in toolchain and analyzer versions, so this

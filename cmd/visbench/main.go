@@ -23,13 +23,14 @@ import (
 
 func main() {
 	var (
-		expName  = flag.String("exp", "all", "experiment to run (T1-T4, F1-F6, or 'all')")
-		quick    = flag.Bool("quick", false, "shrink sweeps for a fast pass")
-		seeds    = flag.Int("seeds", 0, "repetitions per cell (0 = experiment default)")
-		epochs   = flag.Int("max-epochs", 0, "per-run epoch cap (0 = default)")
-		svgDir   = flag.String("svg", "", "also write SVG figures (T1, F1, F3) into this directory")
-		visBench = flag.String("bench-visibility", "", "measure the visibility kernel against the per-Look baseline, write the JSON report to this path ('-' = stdout), and exit")
-		showVer  = flag.Bool("version", false, "print build version and exit")
+		expName    = flag.String("exp", "all", "experiment to run (T1-T4, F1-F6, or 'all')")
+		quick      = flag.Bool("quick", false, "shrink sweeps for a fast pass")
+		seeds      = flag.Int("seeds", 0, "repetitions per cell (0 = experiment default)")
+		epochs     = flag.Int("max-epochs", 0, "per-run epoch cap (0 = default)")
+		svgDir     = flag.String("svg", "", "also write SVG figures (T1, F1, F3) into this directory")
+		visBench   = flag.String("bench-visibility", "", "measure the visibility kernel against the per-Look baseline, write the JSON report to this path ('-' = stdout), and exit")
+		visWorkers = flag.Int("kernel-workers", 0, "worker count for the bench-visibility parallel kernel column (0 = numCPU)")
+		showVer    = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
 	if *showVer {
@@ -47,7 +48,7 @@ func main() {
 			defer f.Close()
 			out = f
 		}
-		if err := runVisibilityBench(out); err != nil {
+		if err := runVisibilityBench(out, *visWorkers); err != nil {
 			fmt.Fprintf(os.Stderr, "visbench: bench-visibility: %v\n", err)
 			os.Exit(1)
 		}

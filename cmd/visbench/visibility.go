@@ -26,6 +26,10 @@ type VisBenchHost struct {
 	NumCPU    int    `json:"numCPU"`
 	// KernelWorkers is the worker count NewKernel(0) resolved to.
 	KernelWorkers int `json:"kernelWorkers"`
+	// ParallelWorkers is the worker count the kernelParallel column ran
+	// with (the -kernel-workers override, or numCPU). On a single-core
+	// host it exercises the fan-out dispatch path without parallelism.
+	ParallelWorkers int `json:"parallelWorkers"`
 }
 
 // VisBenchRow is one swarm size's measurements. "Pass" means resolving
@@ -38,12 +42,17 @@ type VisBenchHost struct {
 type VisBenchRow struct {
 	N                  int     `json:"n"`
 	KernelNsPerPass    int64   `json:"kernelNsPerPass"`
+	KernelParNsPass    int64   `json:"kernelParallelNsPerPass"`
 	PerLookNsPerPass   int64   `json:"perLookNsPerPass"`
 	IncrementalNsPass  int64   `json:"incrementalNsPerPass"`
 	KernelAllocsPass   int64   `json:"kernelAllocsPerPass"`
 	PerLookAllocsPass  int64   `json:"perLookAllocsPerPass"`
 	SpeedupFull        float64 `json:"speedupFull"`
 	SpeedupIncremental float64 `json:"speedupIncremental"`
+	// SpeedupParallel = serial kernel / parallel kernel: >1 only when
+	// the host has cores to fan out over; ~1 or slightly below on one
+	// core, where it prices the dispatch overhead instead.
+	SpeedupParallel float64 `json:"speedupParallel"`
 }
 
 // VisBenchReport is the BENCH_visibility.json schema.
@@ -62,47 +71,60 @@ func visBenchPoints(n int) []geom.Point {
 	return pts
 }
 
-// runVisibilityBench measures the kernel against the per-Look baseline
-// and writes the JSON baseline to w.
-func runVisibilityBench(w io.Writer) error {
+// kernelPass benchmarks one batched Reset+ComputeAll pass at the given
+// worker count.
+func kernelPass(pts []geom.Point, workers int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		kern := geom.NewKernel(workers)
+		defer kern.Close()
+		snap := kern.NewSnapshot()
+		snap.Reset(pts)
+		snap.ComputeAll()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			snap.Reset(pts)
+			snap.ComputeAll()
+		}
+	})
+}
+
+// runVisibilityBench measures the kernel (serial and fanned out over
+// parWorkers workers; 0 = numCPU) against the per-Look baseline and
+// writes the JSON baseline to w.
+func runVisibilityBench(w io.Writer, parWorkers int) error {
 	kern := geom.NewKernel(0)
 	workers := kern.Workers()
 	kern.Close()
+	if parWorkers <= 0 {
+		parWorkers = runtime.NumCPU()
+	}
 
 	rep := VisBenchReport{
 		Host: VisBenchHost{
-			GoVersion:     runtime.Version(),
-			GOOS:          runtime.GOOS,
-			GOARCH:        runtime.GOARCH,
-			NumCPU:        runtime.NumCPU(),
-			KernelWorkers: workers,
+			GoVersion:       runtime.Version(),
+			GOOS:            runtime.GOOS,
+			GOARCH:          runtime.GOARCH,
+			NumCPU:          runtime.NumCPU(),
+			KernelWorkers:   workers,
+			ParallelWorkers: parWorkers,
 		},
 		Notes: []string{
 			"A pass resolves all N visibility rows once; ns figures are per pass.",
-			"kernel: one batched Snapshot Reset+ComputeAll (arena-backed, zero allocations when warm).",
+			"kernel: one batched Snapshot Reset+ComputeAll (arena-backed, zero allocations when warm), pinned to one worker.",
+			"kernelParallel: the same pass fanned out over parallelWorkers workers (-kernel-workers to override).",
 			"perLook: N independent VisibleSetFast calls, each allocating its own scratch — the pre-kernel engine cost per cycle of Looks.",
 			"incremental: one Snapshot.Update (single-robot move) followed by re-reading all N rows; rows the move provably cannot affect revalidate instead of recomputing.",
-			"speedupFull = perLook/kernel, speedupIncremental = perLook/incremental, on this host.",
-			"On a single-core host (numCPU=1) the kernel runs its serial path; the parallel fan-out adds on multi-core hosts.",
+			"speedupFull = perLook/kernel, speedupIncremental = perLook/incremental, speedupParallel = kernel/kernelParallel, on this host.",
+			"On a single-core host (numCPU=1) speedupParallel prices the fan-out dispatch overhead, not parallelism; re-run `make bench-visibility` on a multi-core host to record the scaling.",
 		},
 	}
 
 	for _, n := range visBenchSizes {
 		pts := visBenchPoints(n)
 
-		kernRes := testing.Benchmark(func(b *testing.B) {
-			kern := geom.NewKernel(0)
-			defer kern.Close()
-			snap := kern.NewSnapshot()
-			snap.Reset(pts)
-			snap.ComputeAll()
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				snap.Reset(pts)
-				snap.ComputeAll()
-			}
-		})
+		kernRes := kernelPass(pts, 1)
+		kernParRes := kernelPass(pts, parWorkers)
 
 		lookRes := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -138,6 +160,7 @@ func runVisibilityBench(w io.Writer) error {
 		row := VisBenchRow{
 			N:                 n,
 			KernelNsPerPass:   kernRes.NsPerOp(),
+			KernelParNsPass:   kernParRes.NsPerOp(),
 			PerLookNsPerPass:  lookRes.NsPerOp(),
 			IncrementalNsPass: incRes.NsPerOp(),
 			KernelAllocsPass:  int64(kernRes.AllocsPerOp()),
@@ -149,10 +172,13 @@ func runVisibilityBench(w io.Writer) error {
 		if row.IncrementalNsPass > 0 {
 			row.SpeedupIncremental = float64(row.PerLookNsPerPass) / float64(row.IncrementalNsPass)
 		}
+		if row.KernelParNsPass > 0 {
+			row.SpeedupParallel = float64(row.KernelNsPerPass) / float64(row.KernelParNsPass)
+		}
 		rep.Sizes = append(rep.Sizes, row)
-		fmt.Fprintf(os.Stderr, "visbench: n=%d kernel=%dns perLook=%dns incremental=%dns (full %.2fx, incremental %.2fx)\n",
-			n, row.KernelNsPerPass, row.PerLookNsPerPass, row.IncrementalNsPass,
-			row.SpeedupFull, row.SpeedupIncremental)
+		fmt.Fprintf(os.Stderr, "visbench: n=%d kernel=%dns parallel(%d)=%dns perLook=%dns incremental=%dns (full %.2fx, incremental %.2fx, parallel %.2fx)\n",
+			n, row.KernelNsPerPass, parWorkers, row.KernelParNsPass, row.PerLookNsPerPass, row.IncrementalNsPass,
+			row.SpeedupFull, row.SpeedupIncremental, row.SpeedupParallel)
 	}
 
 	enc := json.NewEncoder(w)

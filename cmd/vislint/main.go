@@ -1,17 +1,19 @@
 // Command vislint is luxvis's domain-aware static analysis gate. It
-// type-checks the whole module with nothing but the standard library
-// and runs the internal/lint analyzer suite — floateq, palette,
-// mutexdiscipline, nondet, ctxcancel, locksafe, atomicmix, errsink,
-// wireformat — each of which protects one of the paper's invariants at
-// build time (see DESIGN.md, "Static invariants"). It prints findings
-// as file:line:col with severity and explanation, and exits 1 when any
-// error-severity finding survives the //lint:allow directives.
+// type-checks the whole module into one shared universe with nothing
+// but the standard library, computes per-function cross-package
+// summaries, and runs the internal/lint analyzer suite — floateq,
+// palette, mutexdiscipline, ctxcancel, locksafe, atomicmix, errsink,
+// wireformat, arenaalias, ctxflow, detsource — each of which protects
+// one of the paper's invariants at build time (see DESIGN.md, "Static
+// invariants"). It prints findings as file:line:col with severity and
+// explanation, and exits 1 when any error-severity finding survives
+// the //lint:allow directives.
 //
 // Usage:
 //
 //	go run ./cmd/vislint ./...
 //	go run ./cmd/vislint -list
-//	go run ./cmd/vislint -run floateq,nondet ./internal/sim
+//	go run ./cmd/vislint -run floateq,detsource ./internal/sim
 //	go run ./cmd/vislint -format=sarif ./... > vislint.sarif
 //	go run ./cmd/vislint -format=github ./...   # CI annotations
 //
@@ -74,16 +76,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *clearCache {
-		cache, err := lint.OpenCache()
+		// Resolve the location without opening (= creating) the cache: a
+		// machine that never ran vislint has nothing to clear, and the
+		// command must succeed without leaving an empty directory behind.
+		dir, err := lint.DefaultCacheDir()
 		if err != nil {
 			fmt.Fprintln(stderr, "vislint:", err)
 			return 2
 		}
-		if err := cache.Clear(); err != nil {
+		if err := lint.ClearCache(dir); err != nil {
 			fmt.Fprintln(stderr, "vislint:", err)
 			return 2
 		}
-		fmt.Fprintf(stdout, "vislint: cleared cache at %s\n", cache.Dir())
+		fmt.Fprintf(stdout, "vislint: cleared cache at %s\n", dir)
 		return 0
 	}
 

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestClearCache: -clear-cache must succeed in every cache state —
+// including on a machine that has never run vislint (no cache
+// directory at all) — and must never create the directory as a side
+// effect of clearing it.
+func TestClearCache(t *testing.T) {
+	cases := []struct {
+		name  string
+		setup func(t *testing.T, dir string) // dir = would-be cache dir
+	}{
+		{"missing", func(t *testing.T, dir string) {}},
+		{"empty", func(t *testing.T, dir string) {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"populated", func(t *testing.T, dir string) {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range []string{"aaaa.json", "bbbb.json"} {
+				if err := os.WriteFile(filepath.Join(dir, name), []byte(`{"findings":null}`), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := t.TempDir()
+			t.Setenv("XDG_CACHE_HOME", base) // redirects os.UserCacheDir on linux
+			cacheDir := filepath.Join(base, "luxvis-vislint")
+			tc.setup(t, cacheDir)
+
+			var stdout, stderr strings.Builder
+			if code := run([]string{"-clear-cache"}, &stdout, &stderr); code != 0 {
+				t.Fatalf("run(-clear-cache) = %d; want 0\nstderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stdout.String(), "cleared cache") {
+				t.Errorf("stdout = %q; want a cleared-cache confirmation", stdout.String())
+			}
+			entries, err := os.ReadDir(cacheDir)
+			switch {
+			case os.IsNotExist(err):
+				if tc.name != "missing" {
+					// Removing the directory itself would also be fine; what
+					// matters is that no entries survive.
+					return
+				}
+				// The missing case must stay missing: clearing must not
+				// create the directory.
+			case err != nil:
+				t.Fatal(err)
+			case len(entries) != 0:
+				t.Errorf("cache dir still has %d entries after clear", len(entries))
+			}
+			if tc.name == "missing" {
+				if _, err := os.Stat(cacheDir); !os.IsNotExist(err) {
+					t.Errorf("clear-cache created %s; it must not touch a missing cache", cacheDir)
+				}
+			}
+		})
+	}
+}

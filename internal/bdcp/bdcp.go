@@ -140,7 +140,7 @@ func Simulate(curve Curve, from []geom.Point, opt Options) (Result, error) {
 		// iteration order would make the landing order (hence Params and
 		// PlacedPerRound) differ between runs of the same seed.
 		intervals := make([]int, 0, len(proposals))
-		//lint:allow nondet keys are sorted before use; this loop only collects them
+		//lint:allow detsource keys are sorted before use; this loop only collects them
 		for iv := range proposals {
 			intervals = append(intervals, iv)
 		}

@@ -390,6 +390,7 @@ func F5Goroutines(cfg Config) (F5Result, error) {
 	fmt.Fprintln(w, "N\twall\tcycles\tepochs\treached")
 	for _, n := range ns {
 		pts := config.Generate(config.Uniform, n, 1)
+		//lint:allow detsource F5 measures the real-async goroutine runtime, whose wall-clock scheduling is the quantity under study; its tables report distributions, not replayable traces
 		r, err := rt.RunCtx(cfg.ctx(), logVis(), pts, rt.Options{
 			Seed:      1,
 			MaxWall:   60 * time.Second,

@@ -12,8 +12,14 @@ import (
 
 // cacheVersion invalidates every entry when the finding schema or any
 // analyzer's semantics change. Bump it in the same commit as the
-// behavior change.
-const cacheVersion = "vislint-cache-2"
+// behavior change. v3: cross-package module analysis (nondet →
+// detsource, arenaalias, ctxflow, summary-aware locksafe/wireformat).
+const cacheVersion = "vislint-cache-3"
+
+// toolchainVersion feeds the cache key. It is a variable, not a call,
+// solely so the invalidation tests can simulate a toolchain upgrade
+// without owning two Go installations.
+var toolchainVersion = runtime.Version
 
 // Cache is the content-addressed result store behind incremental
 // `vislint ./...`: one JSON file per (package, analyzer set) whose name
@@ -24,14 +30,32 @@ type Cache struct {
 	dir string
 }
 
-// OpenCache returns the default user-level cache under
-// os.UserCacheDir()/luxvis-vislint, creating it if needed.
-func OpenCache() (*Cache, error) {
+// DefaultCacheDir returns the user-level cache location
+// (os.UserCacheDir()/luxvis-vislint) without creating anything.
+func DefaultCacheDir() (string, error) {
 	base, err := os.UserCacheDir()
 	if err != nil {
-		return nil, fmt.Errorf("lint: no user cache dir: %w", err)
+		return "", fmt.Errorf("lint: no user cache dir: %w", err)
 	}
-	return NewCacheAt(filepath.Join(base, "luxvis-vislint"))
+	return filepath.Join(base, "luxvis-vislint"), nil
+}
+
+// OpenCache returns the default user-level cache under DefaultCacheDir,
+// creating it if needed.
+func OpenCache() (*Cache, error) {
+	dir, err := DefaultCacheDir()
+	if err != nil {
+		return nil, err
+	}
+	return NewCacheAt(dir)
+}
+
+// ClearCache removes every entry under dir without ever creating it —
+// the right primitive for `vislint -clear-cache`, which must succeed
+// (as a no-op) on a machine that has never run vislint, rather than
+// mkdir-ing a directory just to empty it.
+func ClearCache(dir string) error {
+	return (&Cache{dir: dir}).Clear()
 }
 
 // NewCacheAt opens (creating if needed) a cache rooted at dir. Tests
@@ -54,7 +78,7 @@ func (c *Cache) Dir() string { return c.dir }
 // module-local deps), and the analyzer set.
 func cacheKey(root, path, combined string, analyzers []Analyzer) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\n%s\n%s\n%s\n%s\n", cacheVersion, runtime.Version(), root, path, combined)
+	fmt.Fprintf(h, "%s\n%s\n%s\n%s\n%s\n", cacheVersion, toolchainVersion(), root, path, combined)
 	for _, a := range analyzers {
 		fmt.Fprintf(h, "analyzer %s\n", a.Name())
 	}
@@ -105,9 +129,15 @@ func (c *Cache) Put(key string, findings []Finding) error {
 	return os.Rename(tmp.Name(), c.path(key))
 }
 
-// Clear removes every entry, leaving the cache directory usable.
+// Clear removes every entry, leaving the cache directory usable. A
+// cache directory that does not exist is already clear: `vislint
+// -clear-cache` on a machine that never ran vislint must succeed, not
+// fail on the ReadDir.
 func (c *Cache) Clear() error {
 	entries, err := os.ReadDir(c.dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
 	if err != nil {
 		return err
 	}

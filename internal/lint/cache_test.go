@@ -157,6 +157,82 @@ func TestCacheCorruptEntryIsMiss(t *testing.T) {
 	}
 }
 
+// TestCacheToolchainInvalidation: entries analyzed under one Go
+// toolchain must not be served under another — go/types behavior (and
+// with it analyzer output) can change between releases.
+func TestCacheToolchainInvalidation(t *testing.T) {
+	root := writeCacheModule(t)
+	cache, err := lint.NewCacheAt(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewCacheAt: %v", err)
+	}
+
+	restore := lint.SetToolchainVersion("go1.22.0")
+	defer restore()
+	lintCacheModule(t, root, cache) // populate under the old toolchain
+
+	same := lintCacheModule(t, root, cache)
+	if same.CacheHits != 2 || same.CacheMisses != 0 {
+		t.Fatalf("same toolchain: %d hits, %d misses; want 2, 0", same.CacheHits, same.CacheMisses)
+	}
+
+	restore()
+	restore = lint.SetToolchainVersion("go1.23.0")
+	upgraded := lintCacheModule(t, root, cache)
+	if upgraded.CacheHits != 0 || upgraded.CacheMisses != 2 {
+		t.Fatalf("after toolchain upgrade: %d hits, %d misses; want 0, 2", upgraded.CacheHits, upgraded.CacheMisses)
+	}
+
+	// Downgrading back must find the original entries intact: the key
+	// is a pure function of its inputs, not a generation counter.
+	restore()
+	lint.SetToolchainVersion("go1.22.0")
+	back := lintCacheModule(t, root, cache)
+	if back.CacheHits != 2 || back.CacheMisses != 0 {
+		t.Fatalf("back on old toolchain: %d hits, %d misses; want 2, 0", back.CacheHits, back.CacheMisses)
+	}
+}
+
+// TestCacheAnalyzerSetInvalidation: results are keyed by the analyzer
+// set, so `vislint -run floateq` must never serve (or poison) entries
+// produced by a full-suite run, and vice versa.
+func TestCacheAnalyzerSetInvalidation(t *testing.T) {
+	root := writeCacheModule(t)
+	cache, err := lint.NewCacheAt(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewCacheAt: %v", err)
+	}
+	lintCacheModule(t, root, cache) // populate with the full suite
+
+	subset, err := lint.ByName("floateq")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	sub, err := lint.LintModule(root, subset, lint.Config{Cache: cache})
+	if err != nil {
+		t.Fatalf("LintModule(floateq): %v", err)
+	}
+	if sub.CacheHits != 0 || sub.CacheMisses != 2 {
+		t.Fatalf("subset run against full-suite entries: %d hits, %d misses; want 0, 2", sub.CacheHits, sub.CacheMisses)
+	}
+	if got := render(sub.Findings()); !contains(got, "floateq") {
+		t.Fatalf("subset run lost the floateq finding:\n%s", got)
+	}
+
+	// Both sets now have entries; each re-run hits its own.
+	full := lintCacheModule(t, root, cache)
+	if full.CacheHits != 2 || full.CacheMisses != 0 {
+		t.Fatalf("full-suite re-run: %d hits, %d misses; want 2, 0", full.CacheHits, full.CacheMisses)
+	}
+	sub2, err := lint.LintModule(root, subset, lint.Config{Cache: cache})
+	if err != nil {
+		t.Fatalf("LintModule(floateq) warm: %v", err)
+	}
+	if sub2.CacheHits != 2 || sub2.CacheMisses != 0 {
+		t.Fatalf("subset re-run: %d hits, %d misses; want 2, 0", sub2.CacheHits, sub2.CacheMisses)
+	}
+}
+
 func contains(s, sub string) bool { return strings.Contains(s, sub) }
 
 func appendTo(t *testing.T, path, text string) {

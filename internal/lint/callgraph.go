@@ -203,7 +203,9 @@ func (g *CallGraph) Propagate(direct map[*types.Func]Reach) map[*types.Func]*Rea
 		}
 		state[fn] = visiting
 		if d, ok := direct[fn]; ok {
-			memo[fn] = &Reach{Desc: d.Desc, Pos: d.Pos}
+			// A direct fact may already carry a chain (a cross-package
+			// call summarized by the module graph); preserve it.
+			memo[fn] = &Reach{Desc: d.Desc, Pos: d.Pos, Via: d.Via}
 			state[fn] = done
 			return memo[fn]
 		}

@@ -99,17 +99,51 @@ func (d *directiveSet) allows(f Finding) bool {
 	return false
 }
 
+// covers reports whether a directive for analyzer (or "all") covers the
+// line of pos, without marking anything used. The module-graph summary
+// pass uses it to stop taint propagation at annotated operations;
+// finding suppression goes through allows, which tracks usage.
+func (d *directiveSet) covers(p *Package, pos token.Pos, analyzer string) bool {
+	position := p.Fset.Position(pos)
+	m := d.byLine[position.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, dir := range m[line] {
+			if dir.analyzer == analyzer || dir.analyzer == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // stale reports every directive that suppressed nothing even though its
 // analyzer was part of the run (active). A directive for an analyzer
 // outside the run set is left alone — `vislint -run floateq` must not
-// condemn the nondet annotations it never exercised.
+// condemn the nondet annotations it never exercised — and an "all"
+// directive is only auditable on a full-suite run: on a partial run the
+// findings it exists to suppress may belong to a deselected analyzer,
+// so reporting it stale would condemn a live exception.
 func (d *directiveSet) stale(p *Package, active map[string]bool) []Finding {
+	full := true
+	for _, a := range All() {
+		if !active[a.Name()] {
+			full = false
+			break
+		}
+	}
 	var out []Finding
 	for _, dir := range d.order {
 		if dir.used {
 			continue
 		}
-		if dir.analyzer != "all" && !active[dir.analyzer] {
+		if dir.analyzer == "all" {
+			if !full {
+				continue
+			}
+		} else if !active[dir.analyzer] {
 			continue
 		}
 		out = append(out, finding(p, "directive", dir.pos, Error,

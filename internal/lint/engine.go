@@ -17,6 +17,11 @@ type Config struct {
 	// unchanged packages skip analysis — and, in LintModule, skip
 	// type-checking entirely.
 	Cache *Cache
+	// IntraOnly disables the cross-package module view: every analyzer
+	// runs through its single-package Check, as the PR-4 engine did.
+	// Tests use it to prove a finding genuinely requires whole-program
+	// knowledge (present normally, absent under IntraOnly).
+	IntraOnly bool
 }
 
 func (c Config) workers() int {
@@ -31,9 +36,16 @@ func (c Config) workers() int {
 // over workers by index striding; each worker writes only its own
 // result slots, so the engine needs no locks of its own.
 func RunConfig(pkgs []*Package, analyzers []Analyzer, cfg Config) []Finding {
+	var m *Module
+	if !cfg.IntraOnly {
+		// Summaries are computed once, up front and sequentially (they
+		// must flow dependencies-first anyway); the per-package analyzer
+		// runs then read them concurrently without coordination.
+		m = NewModule(pkgs)
+	}
 	results := make([][]Finding, len(pkgs))
 	runParallel(len(pkgs), cfg.workers(), func(i int) {
-		results[i] = lintPackage(pkgs[i], analyzers)
+		results[i] = lintPackage(pkgs[i], m, analyzers)
 	})
 	var out []Finding
 	for _, r := range results {
@@ -45,15 +57,23 @@ func RunConfig(pkgs []*Package, analyzers []Analyzer, cfg Config) []Finding {
 
 // lintPackage is the per-package unit of work: collect directives, run
 // the analyzers through directive filtering, then audit for stale
-// directives. The result is in canonical order and is what the cache
-// stores.
-func lintPackage(p *Package, analyzers []Analyzer) []Finding {
+// directives. Analyzers implementing ModuleAnalyzer get the module view
+// when one was built (m non-nil); the rest — and everything under
+// IntraOnly — run their single-package Check. The result is in
+// canonical order and is what the cache stores.
+func lintPackage(p *Package, m *Module, analyzers []Analyzer) []Finding {
 	dirs, bad := collectDirectives(p)
 	out := append([]Finding(nil), bad...)
 	active := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		active[a.Name()] = true
-		for _, f := range a.Check(p) {
+		var fs []Finding
+		if ma, ok := a.(ModuleAnalyzer); ok && m != nil {
+			fs = ma.CheckModule(p, m)
+		} else {
+			fs = a.Check(p)
+		}
+		for _, f := range fs {
 			if !dirs.allows(f) {
 				out = append(out, f)
 			}
@@ -161,9 +181,23 @@ func LintModule(root string, analyzers []Analyzer, cfg Config) (*ModuleResult, e
 		if err != nil {
 			return nil, err
 		}
+		// The module view spans the misses' whole dependency closure —
+		// exactly what TypeCheck returned, and exactly the input set the
+		// per-package combined hash (and so the cache key) is a function
+		// of: summaries only ever describe a function's dependencies.
+		var m *Module
+		if !cfg.IntraOnly {
+			closure := make([]*Package, 0, len(checked))
+			for _, path := range ms.Paths() {
+				if p, ok := checked[path]; ok {
+					closure = append(closure, p)
+				}
+			}
+			m = NewModule(closure)
+		}
 		results := make([][]Finding, len(missPaths))
 		runParallel(len(missPaths), cfg.workers(), func(i int) {
-			results[i] = lintPackage(checked[missPaths[i]], analyzers)
+			results[i] = lintPackage(checked[missPaths[i]], m, analyzers)
 		})
 		for i, path := range missPaths {
 			byPath[path] = results[i]

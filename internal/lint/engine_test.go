@@ -80,29 +80,73 @@ func fine(a, b int) bool { return a == b }
 }
 
 // TestStaleDirectiveInactiveAnalyzer: a directive for an analyzer that
-// did not run cannot be judged stale — `vislint -run nondet` must not
-// condemn floateq annotations it never exercised.
+// did not run cannot be judged stale — `vislint -run detsource` must
+// not condemn floateq annotations it never exercised.
 func TestStaleDirectiveInactiveAnalyzer(t *testing.T) {
 	src := `package fixture
 
 //lint:allow floateq the analyzer for this is not in the run set
 func fine(a, b int) bool { return a == b }
 `
-	findings := runFixture(t, "luxvis/internal/fixture", src, lint.NonDet{})
+	findings := runFixture(t, "luxvis/internal/fixture", src, lint.DetSource{})
 	if len(findings) != 0 {
 		t.Errorf("findings = %v; want none", findings)
 	}
 }
 
-// TestStaleDirectiveAllAlwaysAudited: "all" directives are in scope for
-// every run.
-func TestStaleDirectiveAllAlwaysAudited(t *testing.T) {
+// TestStaleDirectiveDeselectedAnalyzer is the regression test for the
+// flag-aware staleness fix: a named directive whose findings exist —
+// but whose analyzer was deselected via -run — must not be reported
+// stale, even while a selected analyzer runs over the same file.
+func TestStaleDirectiveDeselectedAnalyzer(t *testing.T) {
+	src := `package fixture
+
+func eq(a, b float64) bool {
+	return a == b //lint:allow floateq exact comparison is intended here
+}
+`
+	// floateq deselected: the directive would suppress a real floateq
+	// finding, so judging it stale from a detsource-only run is wrong.
+	findings := runFixture(t, "luxvis/internal/fixture", src, lint.DetSource{})
+	if len(findings) != 0 {
+		t.Errorf("detsource-only run findings = %v; want none", findings)
+	}
+	// floateq selected: the directive is used, still nothing reported.
+	findings = runFixture(t, "luxvis/internal/fixture", src, lint.FloatEq{})
+	if len(findings) != 0 {
+		t.Errorf("floateq run findings = %v; want none", findings)
+	}
+}
+
+// TestStaleDirectiveAllPartialRun: an "all" directive can only be
+// audited on a full-suite run — on a partial run the findings it
+// suppresses may belong to a deselected analyzer, so reporting it stale
+// would condemn a live exception.
+func TestStaleDirectiveAllPartialRun(t *testing.T) {
+	src := `package fixture
+
+func eq(a, b float64) bool {
+	return a == b //lint:allow all fixture exception spanning analyzers
+}
+`
+	if findings := runFixture(t, "luxvis/internal/fixture", src, lint.DetSource{}); len(findings) != 0 {
+		t.Errorf("partial-run findings = %v; want none (the all-directive covers a deselected analyzer's finding)", findings)
+	}
+}
+
+// TestStaleDirectiveAllFullRun: on a full-suite run an "all" directive
+// that suppresses nothing anywhere is reported stale.
+func TestStaleDirectiveAllFullRun(t *testing.T) {
 	src := `package fixture
 
 //lint:allow all this suppresses nothing at all
 func fine() {}
 `
-	findings := runFixture(t, "luxvis/internal/fixture", src, lint.NonDet{})
+	pkg, err := lint.CheckSource("luxvis/internal/fixture", "fixture.go", src, nil)
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	findings := lint.Run([]*lint.Package{pkg}, lint.All())
 	if len(findings) != 1 || findings[0].Analyzer != "directive" {
 		t.Errorf("findings = %v; want one stale-directive error", findings)
 	}

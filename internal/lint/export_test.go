@@ -1,0 +1,10 @@
+package lint
+
+// SetToolchainVersion overrides the toolchain-version component of the
+// cache key, returning a restore function. The invalidation tests use
+// it to simulate a Go upgrade without owning two toolchains.
+func SetToolchainVersion(v string) (restore func()) {
+	old := toolchainVersion
+	toolchainVersion = func() string { return v }
+	return func() { toolchainVersion = old }
+}

@@ -3,11 +3,13 @@
 // plus the analyzers that guard the paper's invariants at build time —
 // epsilon-safe geometry predicates (floateq), the O(1)-color palette
 // discipline (palette), mutex-guarded shared state under asynchrony
-// (mutexdiscipline), seeded-replay determinism of the algorithm packages
-// (nondet), cancellable goroutines (ctxcancel), the
+// (mutexdiscipline), cancellable goroutines (ctxcancel), the
 // no-blocking-under-the-world-lock callback contract (locksafe),
 // tear-free atomics discipline (atomicmix), checked hot-writer errors
-// (errsink), and stable wire-format tags (wireformat).
+// (errsink), stable wire-format tags (wireformat), kernel arena-row
+// aliasing (arenaalias), context propagation across the serve→sim→rt
+// layering (ctxflow), and seeded-replay determinism with cross-package
+// taint (detsource, superseding the local-only nondet of PRs 2–5).
 //
 // Since PR 4 the engine reasons across function boundaries: each package
 // gets an intra-package static call graph (callgraph.go) that the
@@ -15,7 +17,15 @@
 // parallel with deterministic finding order (engine.go), results are
 // cached by content hash for incremental runs (cache.go), and findings
 // render as text, GitHub Actions annotations, or SARIF 2.1.0
-// (sarif.go).
+// (sarif.go). This PR lifts the graph across package boundaries: all
+// loaded packages share one type-checked universe, every declared
+// function gets a FuncSummary (lock safety, blocking, determinism
+// taint, arena returns, JSON-sink parameters — module.go) computed
+// bottom-up in dependency order, and a lightweight per-function
+// dataflow pass (dataflow.go) tracks values of interest through
+// assignments and slicing. Analyzers that implement ModuleAnalyzer
+// receive the whole-program view; the rest keep their per-package
+// Check.
 //
 // The suite is self-hosted: `go run ./cmd/vislint ./...` must exit 0 on
 // this repository. Deliberate exceptions are annotated in the source
@@ -115,18 +125,33 @@ type Analyzer interface {
 	Check(p *Package) []Finding
 }
 
+// ModuleAnalyzer is the optional whole-program interface: an analyzer
+// that also implements CheckModule is handed the cross-package module
+// view when the engine has one. Check remains the required,
+// single-package entry point — by convention implemented as
+// CheckModule(p, NewModule([]*Package{p})), so intra-package behavior
+// is the same algorithm with a one-package universe.
+type ModuleAnalyzer interface {
+	Analyzer
+	// CheckModule returns the analyzer's findings for one package,
+	// computed with whole-program knowledge of m (which contains p).
+	CheckModule(p *Package, m *Module) []Finding
+}
+
 // All returns the full luxvis analyzer suite in canonical order.
 func All() []Analyzer {
 	return []Analyzer{
 		FloatEq{},
 		PaletteDiscipline{},
 		MutexDiscipline{},
-		NonDet{},
 		CtxCancel{},
 		LockSafe{},
 		AtomicMix{},
 		ErrSink{},
 		WireFormat{},
+		ArenaAlias{},
+		CtxFlow{},
+		DetSource{},
 	}
 }
 
@@ -138,6 +163,9 @@ func ByName(names ...string) ([]Analyzer, error) {
 	}
 	var out []Analyzer
 	for _, n := range names {
+		if n == "nondet" {
+			return nil, fmt.Errorf("lint: analyzer \"nondet\" was superseded by \"detsource\" (same direct sources, plus cross-package taint)")
+		}
 		found := false
 		for _, a := range all {
 			if a.Name() == n {

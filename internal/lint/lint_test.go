@@ -112,15 +112,20 @@ func findingsOf(fs []lint.Finding, analyzer string) []lint.Finding {
 
 func TestByName(t *testing.T) {
 	all, err := lint.ByName()
-	if err != nil || len(all) != 9 {
-		t.Fatalf("ByName() = %d analyzers, err %v; want 9, nil", len(all), err)
+	if err != nil || len(all) != 11 {
+		t.Fatalf("ByName() = %d analyzers, err %v; want 11, nil", len(all), err)
 	}
-	sub, err := lint.ByName("floateq", "nondet")
+	sub, err := lint.ByName("floateq", "detsource")
 	if err != nil || len(sub) != 2 {
-		t.Fatalf("ByName(floateq, nondet) = %v, %v", sub, err)
+		t.Fatalf("ByName(floateq, detsource) = %v, %v", sub, err)
 	}
 	if _, err := lint.ByName("nosuch"); err == nil {
 		t.Fatal("ByName(nosuch) succeeded; want error")
+	}
+	// The retired name gets a pointer to its successor, not a generic
+	// unknown-analyzer error.
+	if _, err := lint.ByName("nondet"); err == nil || !strings.Contains(err.Error(), "detsource") {
+		t.Fatalf("ByName(nondet) err = %v; want supersession error naming detsource", err)
 	}
 }
 

@@ -31,10 +31,15 @@ import (
 // Approximations, chosen to fail toward silence rather than noise: lock
 // regions are tracked in source-position order (an early-return unlock
 // inside a branch ends the region at that unlock), a communication in a
-// select that has a default case is non-blocking and exempt, `go`
+// select that has a default case is non-blocking and exempt, and `go`
 // statements are frame boundaries (the launched body runs outside the
-// caller's locks, but is checked against its own), and cross-package
-// calls are opaque.
+// caller's locks, but is checked against its own).
+//
+// Since the cross-package module graph, calls into other module
+// packages are no longer opaque: a call made under a lock is checked
+// against the callee's LockUnsafe summary, so `mu.Lock(); sim.Run(...)`
+// is reported in the serve layer even though the channel wait it
+// reaches sits two packages down.
 type LockSafe struct{}
 
 // Name implements Analyzer.
@@ -46,33 +51,32 @@ func (LockSafe) Doc() string {
 }
 
 // lockedOp is one directly-unsafe operation found in a function body.
+// observer marks sim.Observer callbacks: forbidden under a lock, but not
+// blocking operations in their own right — the module graph's Blocks
+// summaries (which ctxflow consumes) exclude them.
 type lockedOp struct {
-	pos  token.Pos
-	desc string
+	pos      token.Pos
+	desc     string
+	observer bool
 }
 
-// Check implements Analyzer.
+// Check implements Analyzer with intra-package knowledge only: calls
+// into other packages are opaque, as they were before the module graph.
 func (a LockSafe) Check(p *Package) []Finding {
+	return a.CheckModule(p, NewModule([]*Package{p}))
+}
+
+// CheckModule implements ModuleAnalyzer. The summary pass (module.go)
+// already did the reachability work — each function's LockUnsafe fact is
+// closed over intra-package chains and cross-package call sites — so
+// this pass only intersects each frame's locked regions with its own
+// unsafe ops and with calls into summarized-unsafe functions.
+func (a LockSafe) CheckModule(p *Package, m *Module) []Finding {
 	if !importsPkg(p, "sync") {
 		return nil
 	}
 	g := p.CallGraph()
 
-	// Pass 1: each function's first own unsafe operation (outer frame
-	// only — ops inside stored closures do not run just because the
-	// function is called).
-	direct := make(map[*types.Func]Reach)
-	for _, fn := range g.Funcs() {
-		if list := collectUnsafeOps(p, g.Decl(fn).Body); len(list) > 0 {
-			direct[fn] = Reach{Desc: list[0].desc, Pos: list[0].pos}
-		}
-	}
-
-	// Pass 2: transitive closure over the call graph.
-	reach := g.Propagate(direct)
-
-	// Pass 3: per frame, intersect locked regions with the frame's own
-	// unsafe ops and with its calls into transitively-unsafe functions.
 	var out []Finding
 	for _, fn := range g.Funcs() {
 		fd := g.Decl(fn)
@@ -93,22 +97,22 @@ func (a LockSafe) Check(p *Package) []Finding {
 						name, op.desc, mu))
 				}
 			}
-			for _, e := range frameCalls(p, g.decls, frame) {
-				r := reach[e.Callee]
-				if r == nil {
+			for _, e := range moduleCalls(p, m, frame) {
+				s := m.Summary(e.Callee)
+				if s == nil || s.LockUnsafe == nil {
 					continue
 				}
 				mu := regions.covering(e.Pos)
 				if mu == "" {
 					continue
 				}
-				chain := e.Callee.Name()
-				if v := r.Chain(); v != "" {
+				chain := crossName(p, e.Callee)
+				if v := s.LockUnsafe.Chain(); v != "" {
 					chain += " → " + v
 				}
 				out = append(out, finding(p, a.Name(), e.Pos, Error,
 					"%s calls %s while holding %s, and %s %s (call chain %s); release the lock first",
-					name, e.Callee.Name(), mu, lastName(chain), r.Desc, chain))
+					name, crossName(p, e.Callee), mu, lastName(chain), s.LockUnsafe.Desc, chain))
 			}
 		}
 	}
@@ -167,7 +171,7 @@ func collectUnsafeOps(p *Package, frame ast.Node) []lockedOp {
 		case *ast.CallExpr:
 			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
 				if isObserverCall(p, sel) {
-					add(n.Pos(), "invokes sim.Observer."+sel.Sel.Name)
+					out = append(out, lockedOp{pos: n.Pos(), desc: "invokes sim.Observer." + sel.Sel.Name, observer: true})
 					return true
 				}
 				if isSyncMethod(methodObjOf(p, sel), "Wait") {

@@ -32,6 +32,13 @@ import (
 // wrapper takes `any`, so nothing at its own Encode call names the
 // struct; the analyzer instead propagates sink-ness to the wrapper's
 // parameter and checks the static types at every call site.
+//
+// With the cross-package module graph both halves of rule 2 span
+// packages: the wrapper may live in another package (serve calling an
+// obs helper whose parameter reaches Encode), and the struct may be
+// declared anywhere in the module — a core type marshaled by serve is
+// held to the same tag discipline as serve's own, because its wire
+// bytes are just as load-bearing.
 type WireFormat struct{}
 
 // Name implements Analyzer.
@@ -45,8 +52,14 @@ func (WireFormat) Doc() string {
 // wireScopes are the package-path suffixes that produce wire bytes.
 var wireScopes = []string{"internal/serve", "internal/trace", "internal/obs"}
 
-// Check implements Analyzer.
+// Check implements Analyzer with intra-package knowledge only: wrapper
+// discovery and struct scoping stop at the package boundary.
 func (a WireFormat) Check(p *Package) []Finding {
+	return a.CheckModule(p, NewModule([]*Package{p}))
+}
+
+// CheckModule implements ModuleAnalyzer.
+func (a WireFormat) CheckModule(p *Package, m *Module) []Finding {
 	inScope := false
 	for _, s := range wireScopes {
 		if p.PathHasSuffix(s) {
@@ -60,7 +73,7 @@ func (a WireFormat) Check(p *Package) []Finding {
 
 	var out []Finding
 	out = append(out, a.checkTagCompleteness(p)...)
-	out = append(out, a.checkMarshalSinks(p)...)
+	out = append(out, a.checkMarshalSinks(p, m)...)
 	sortFindings(out)
 	return out
 }
@@ -123,75 +136,15 @@ func jsonTagName(field *ast.Field) string {
 	return name
 }
 
-// checkMarshalSinks enforces rule 2 with a fixpoint over the call
-// graph: sink parameters are discovered transitively, then every value
-// reaching a sink is checked for untagged named-struct types.
-func (a WireFormat) checkMarshalSinks(p *Package) []Finding {
+// checkMarshalSinks enforces rule 2. The sink-parameter fixpoint itself
+// lives in the module summary pass (Module.computeSinkParams), where it
+// runs bottom-up in dependency order — a wrapper's sink parameter is
+// visible here no matter which package declares the wrapper. This pass
+// only checks the static type of every value reaching a summarized
+// sink against the tag rules; any named struct declared in the module
+// qualifies, not just this package's own.
+func (a WireFormat) checkMarshalSinks(p *Package, m *Module) []Finding {
 	g := p.CallGraph()
-
-	// paramIndex maps each declared function's parameter objects to
-	// their positional index.
-	paramIndex := make(map[*types.Func]map[types.Object]int)
-	for _, fn := range g.Funcs() {
-		fd := g.Decl(fn)
-		idx := make(map[types.Object]int)
-		i := 0
-		if fd.Type.Params != nil {
-			for _, field := range fd.Type.Params.List {
-				for _, name := range field.Names {
-					if obj := p.Info.Defs[name]; obj != nil {
-						idx[obj] = i
-					}
-					i++
-				}
-			}
-		}
-		paramIndex[fn] = idx
-	}
-
-	// sinkParams[fn] is the set of fn's parameter indices whose values
-	// reach a JSON sink. Fixpoint: start with the direct sinks, then
-	// propagate through package-local wrapper calls until stable.
-	sinkParams := make(map[*types.Func]map[int]bool)
-	for changed := true; changed; {
-		changed = false
-		for _, fn := range g.Funcs() {
-			fd := g.Decl(fn)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				for _, argIdx := range sinkArgIndices(p, g, call, sinkParams) {
-					if argIdx >= len(call.Args) {
-						continue
-					}
-					id, ok := ast.Unparen(call.Args[argIdx]).(*ast.Ident)
-					if !ok {
-						continue
-					}
-					obj := p.Info.Uses[id]
-					pi, isParam := paramIndex[fn][obj]
-					if !isParam {
-						continue
-					}
-					if _, ok := obj.Type().Underlying().(*types.Interface); !ok {
-						continue // concrete param: its sink call names the type itself
-					}
-					if sinkParams[fn] == nil {
-						sinkParams[fn] = make(map[int]bool)
-					}
-					if !sinkParams[fn][pi] {
-						sinkParams[fn][pi] = true
-						changed = true
-					}
-				}
-				return true
-			})
-		}
-	}
-
-	// Final pass: check the static type of every value reaching a sink.
 	var out []Finding
 	for _, fn := range g.Funcs() {
 		fd := g.Decl(fn)
@@ -200,13 +153,13 @@ func (a WireFormat) checkMarshalSinks(p *Package) []Finding {
 			if !ok {
 				return true
 			}
-			for _, argIdx := range sinkArgIndices(p, g, call, sinkParams) {
+			for _, argIdx := range m.sinkArgIndices(p, call) {
 				if argIdx >= len(call.Args) {
 					continue
 				}
 				arg := call.Args[argIdx]
 				named := namedStructOf(p.TypeOf(arg))
-				if named == nil || named.Obj().Pkg() != p.Pkg {
+				if named == nil || !m.IsModuleStruct(named) {
 					continue
 				}
 				st := named.Underlying().(*types.Struct)
@@ -219,42 +172,6 @@ func (a WireFormat) checkMarshalSinks(p *Package) []Finding {
 			}
 			return true
 		})
-	}
-	return out
-}
-
-// sinkArgIndices returns the indices of call's arguments that reach a
-// JSON sink: arg 0 of json.Marshal/MarshalIndent/(*json.Encoder).Encode,
-// or the sink parameters of a package-local wrapper.
-func sinkArgIndices(p *Package, g *CallGraph, call *ast.CallExpr, sinkParams map[*types.Func]map[int]bool) []int {
-	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-		if pkgNameOf(p, sel.X) == "encoding/json" &&
-			(sel.Sel.Name == "Marshal" || sel.Sel.Name == "MarshalIndent") {
-			return []int{0}
-		}
-		if fn := methodObjOf(p, sel); fn != nil && fn.Pkg() != nil &&
-			fn.Pkg().Path() == "encoding/json" && fn.Name() == "Encode" {
-			return []int{0}
-		}
-	}
-	callee := p.StaticCallee(call)
-	if callee == nil || g.Decl(callee) == nil {
-		return nil
-	}
-	params := sinkParams[callee]
-	if len(params) == 0 {
-		return nil
-	}
-	out := make([]int, 0, len(params))
-	for i := range params {
-		out = append(out, i)
-	}
-	if len(out) > 1 {
-		for i := 1; i < len(out); i++ {
-			for j := i; j > 0 && out[j] < out[j-1]; j-- {
-				out[j], out[j-1] = out[j-1], out[j]
-			}
-		}
 	}
 	return out
 }

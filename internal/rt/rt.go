@@ -330,6 +330,7 @@ func monitor(ctx context.Context, w *world, n int, obs sim.Observer) Result {
 		}
 		if stable {
 			if pos != nil {
+				//lint:allow ctxflow kernel dispatch is bounded compute on an internal worker pool, not open-ended waiting; a ctx parameter would tax the hot path
 				cvCached = kern.CompleteVisibilityFast(pos)
 				lastSeqChecked = seq
 			}

@@ -626,19 +626,19 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMs))
 	defer cancel()
 
-	var out strings.Builder
-	var outMu sync.Mutex // handler may time out while the worker still writes
+	// The handler may time out while the worker still writes, so the
+	// buffer is locked per write — never across the run itself, which
+	// blocks on the experiment's worker pool.
+	out := &lockedBuffer{}
 	j := &job{
 		ctx:  ctx,
 		done: make(chan struct{}),
 		run: func(ctx context.Context) (*RunSummary, error) {
-			outMu.Lock()
-			defer outMu.Unlock()
 			cfg := exp.Config{
 				Quick:     req.Quick,
 				Seeds:     req.Seeds,
 				MaxEpochs: req.MaxEpochs,
-				Out:       &out,
+				Out:       out,
 				Ctx:       ctx,
 			}
 			return nil, exp.Run(req.Name, cfg)
@@ -655,9 +655,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.metrics.jobCompleted()
-		outMu.Lock()
 		text := out.String()
-		outMu.Unlock()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		_, _ = fmt.Fprint(w, text)
@@ -666,6 +664,27 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGatewayTimeout,
 			"experiment aborted: %v (runs stop at their next epoch boundary)", ctx.Err())
 	}
+}
+
+// lockedBuffer is a mutex-guarded string accumulator shared between an
+// experiment worker (writing progress) and its handler (snapshotting
+// the output). The lock is held only for the duration of one write or
+// read, never across the experiment run.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 // submitTracked submits with accepted/rejected accounting.

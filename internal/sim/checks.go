@@ -45,12 +45,12 @@ func (e *engine) cvNow() bool {
 		e.res.Kernel.CVChecks++
 		var t0 time.Time
 		if e.obs != nil {
-			//lint:allow nondet observer-gated timing counter; never influences control flow
+			//lint:allow detsource observer-gated timing counter; never influences control flow
 			t0 = time.Now()
 		}
 		e.cvCacheVal = e.vk.CompleteVisibilityFast(e.pos)
 		if e.obs != nil {
-			//lint:allow nondet observer-gated timing counter; never influences control flow
+			//lint:allow detsource observer-gated timing counter; never influences control flow
 			e.res.Kernel.CVNanos += time.Since(t0).Nanoseconds()
 		}
 	}

@@ -475,12 +475,12 @@ func (e *engine) advance(r int) {
 func (e *engine) doLook(r int) {
 	var t0 time.Time
 	if e.obs != nil {
-		//lint:allow nondet observer-gated timing counter; never influences control flow
+		//lint:allow detsource observer-gated timing counter; never influences control flow
 		t0 = time.Now()
 	}
 	vis := e.vsnap.Row(r)
 	if e.obs != nil {
-		//lint:allow nondet observer-gated timing counter; never influences control flow
+		//lint:allow detsource observer-gated timing counter; never influences control flow
 		e.res.Kernel.LookNanos += time.Since(t0).Nanoseconds()
 	}
 	others := make([]model.RobotView, len(vis))
