@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint lint-clean vet race bench-smoke fuzz-smoke bench-visibility check
+.PHONY: build test lint lint-clean vet race bench-smoke fuzz-smoke scenarios bench-visibility check
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,15 @@ fuzz-smoke:
 	$(GO) test ./internal/geom -run '^$$' -fuzz '^FuzzVisibleAgainstNaive$$' -fuzztime 15s
 	$(GO) test ./internal/geom -run '^$$' -fuzz '^FuzzSegmentCross$$' -fuzztime 15s
 	$(GO) test ./internal/geom -run '^$$' -fuzz '^FuzzSnapshotUpdate$$' -fuzztime 15s
+	$(GO) test ./internal/scenario -run '^$$' -fuzz '^FuzzScenarioConfig$$' -fuzztime 15s
+
+## scenarios: the robustness matrix at CI scale — every stressor of the
+## scenario suite against the paper's claims, 1 seed, engine-vs-auditor
+## parity on every cell, under the race detector. The full matrix is
+## `go run ./cmd/visbench -exp R1` (see EXPERIMENTS.md).
+scenarios:
+	$(GO) test ./internal/exp -race -count=1 -run '^TestRobustnessMatrixSmoke$$' -v
+	$(GO) test ./internal/verify -race -count=1 -run '^TestDifferentialScenarioSweep$$' -v
 
 ## bench-visibility: regenerate the visibility-kernel benchmark baseline
 ## (kernel vs per-Look vs incremental, with host info). Takes minutes;
@@ -54,5 +63,5 @@ bench-visibility:
 	$(GO) run ./cmd/visbench -bench-visibility BENCH_visibility.json
 
 ## check: everything a PR must pass, in fail-fast order.
-check: build vet lint test race bench-smoke fuzz-smoke
+check: build vet lint test race bench-smoke fuzz-smoke scenarios
 	@echo "all gates passed"

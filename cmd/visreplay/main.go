@@ -170,9 +170,17 @@ func runAudit(header trace.Header, events []trace.Event) error {
 	final := make([]geom.Point, header.N)
 	for _, e := range events {
 		p := geom.Pt(e.X, e.Y)
-		if e.Kind == "look" && !seen[e.Robot] {
+		// A robot's first look fixes its start; a robot crashed before it
+		// ever Looked never moved, so its crash position is its start too.
+		if (e.Kind == "look" || e.Kind == "crash") && !seen[e.Robot] {
 			start[e.Robot] = p
 			seen[e.Robot] = true
+		}
+		if e.Kind == "crash" {
+			// The auditor cross-checks its trace-derived crashed set
+			// against the engine's; rebuild the latter from the same
+			// stream (sorted: the engine canonicalizes at finish).
+			res.Crashed = append(res.Crashed, e.Robot)
 		}
 		final[e.Robot] = p
 		res.Trace = append(res.Trace, sim.TraceEvent{
@@ -180,6 +188,7 @@ func runAudit(header trace.Header, events []trace.Event) error {
 			Color: colorByName(e.Color),
 		})
 	}
+	sort.Ints(res.Crashed)
 	for i, ok := range seen {
 		if !ok {
 			return fmt.Errorf("robot %d never Looked in the trace; cannot recover its start", i)
@@ -194,6 +203,9 @@ func runAudit(header trace.Header, events []trace.Event) error {
 	fmt.Printf("audit: events=%d colocations=%d pass-throughs=%d path-crossings=%d palette-violations=%d final-CV=%v clean=%v\n",
 		rep.Events, rep.Colocations, rep.PassThroughs, rep.PathCrossings,
 		rep.PaletteViolations, rep.FinalCV, rep.Clean())
+	if rep.Crashes > 0 {
+		fmt.Printf("crash run: crashed=%v survivor-CV=%v\n", rep.Crashed, rep.SurvivorCV)
+	}
 	for i, p := range rep.Problems {
 		if i >= 10 {
 			fmt.Printf("  ... %d more\n", len(rep.Problems)-10)

@@ -11,6 +11,7 @@
 //	vissim -n 64 -trace run.jsonl             # record a full event trace
 //	vissim -n 64 -telemetry epochs.jsonl      # per-epoch phase telemetry
 //	vissim -n 64 -flight crash.jsonl          # last-512-events dump on failure
+//	vissim -n 64 -scenario "crash=3@0.25,jitter=1e-6"   # stressor suite
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"luxvis/internal/model"
 	"luxvis/internal/obs"
 	"luxvis/internal/rt"
+	"luxvis/internal/scenario"
 	"luxvis/internal/sched"
 	"luxvis/internal/sim"
 	"luxvis/internal/trace"
@@ -47,6 +49,7 @@ func main() {
 		tracePath  = flag.String("trace", "", "write a JSONL event trace to this file")
 		telePath   = flag.String("telemetry", "", "stream per-epoch phase telemetry JSONL to this file")
 		flightPath = flag.String("flight", "", "write a flight-recorder dump (last events) to this file on violation/abort")
+		scenarioS  = flag.String("scenario", "", "stressor scenario, e.g. \"sched=greedy-stale,crash=2@0.25:moving,jitter=1e-6\" (see internal/scenario)")
 		flightK    = flag.Int("flight-events", 0, "flight-recorder ring size (0 = default 512)")
 		showVer    = flag.Bool("version", false, "print build version and exit")
 	)
@@ -77,6 +80,17 @@ func main() {
 	scheduler, err := sched.ByNameErr(*schedName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vissim: %v\n", err)
+		os.Exit(2)
+	}
+	scen, err := scenario.Parse(*scenarioS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vissim: %v\n", err)
+		os.Exit(2)
+	}
+	if *scenarioS != "" && *concurrent {
+		// The stressor suite threads through the event engine's Options;
+		// the goroutine runtime has its own (narrower) knobs in rt.Options.
+		fmt.Fprintln(os.Stderr, "vissim: -scenario applies to the event engine, not -concurrent")
 		os.Exit(2)
 	}
 	pts := config.Generate(config.Family(*famName), *n, *seed)
@@ -125,6 +139,12 @@ func main() {
 	opt.NonRigid = *nonRigid
 	opt.RecordTrace = *tracePath != ""
 	opt.Observer = observer
+	// The scenario composes on top of the base flags; its sched= key, if
+	// present, overrides -sched.
+	if err := scen.Apply(&opt, *n); err != nil {
+		fmt.Fprintf(os.Stderr, "vissim: %v\n", err)
+		os.Exit(2)
+	}
 	res, err := sim.Run(algo, pts, opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vissim: %v\n", err)
@@ -133,6 +153,9 @@ func main() {
 
 	fmt.Printf("algorithm=%s scheduler=%s family=%s n=%d seed=%d\n",
 		res.Algorithm, res.Scheduler, *famName, res.N, res.Seed)
+	if *scenarioS != "" {
+		fmt.Printf("scenario=%q crashed=%v\n", scen.String(), res.Crashed)
+	}
 	fmt.Printf("reached=%v epochs=%d first-cv-epoch=%d events=%d cycles=%d\n",
 		res.Reached, res.Epochs, res.FirstCVEpoch, res.Events, res.Cycles)
 	fmt.Printf("moves=%d total-dist=%.1f colors=%d collisions=%d path-crossings=%d min-pair-dist=%.4g\n",

@@ -129,7 +129,7 @@ func newTab(w io.Writer) *tabwriter.Writer {
 
 // Names lists the experiment identifiers in canonical order.
 func Names() []string {
-	return []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "A1", "A2"}
+	return []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "A1", "A2", "R1"}
 }
 
 // Run executes one experiment by name and prints its table to cfg.Out.
@@ -181,6 +181,9 @@ func Run(name string, cfg Config) error {
 		return err
 	case "A2":
 		_, err := A2Guard(cfg)
+		return err
+	case "R1":
+		_, err := R1Robustness(cfg)
 		return err
 	default:
 		return fmt.Errorf("exp: unknown experiment %q (known: %v)", name, Names())

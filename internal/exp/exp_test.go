@@ -215,6 +215,33 @@ func TestF9Quick(t *testing.T) {
 	}
 }
 
+func TestRobustnessMatrixSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := R1Robustness(quickCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 4 {
+		t.Fatalf("matrix has %d stressor rows, want >= 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// The differential harness is the experiment's backbone: every
+		// run of every cell must audit clean against the engine.
+		if row.AuditOK != row.Runs {
+			t.Errorf("%s: audit parity %d/%d", row.Stressor, row.AuditOK, row.Runs)
+		}
+		if row.Collisions != 0 {
+			t.Errorf("%s: %d collisions, the claim is exact zero", row.Stressor, row.Collisions)
+		}
+		if row.Stressor == "none" && row.Reached != row.Runs {
+			t.Errorf("clean row reached %d/%d", row.Reached, row.Runs)
+		}
+	}
+	if !strings.Contains(buf.String(), "audit parity") {
+		t.Error("matrix header missing")
+	}
+}
+
 func TestExperimentCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -1,0 +1,164 @@
+// ---------------------------------------------------------------------
+// R1 — the robustness matrix
+//
+// The paper's claims are stated for a clean ASYNC model: fair
+// scheduling, fault-free robots, perfect sensors, rigid (or adversary-
+// truncated-but-uniform) motion. R1 stresses each of those assumptions
+// through internal/scenario — adversarial-but-legal schedulers, crash
+// faults, sensor jitter, skewed non-rigid truncation — and re-measures
+// the claims per stressor. Every cell runs with a recorded trace and is
+// re-derived by the independent auditor (internal/verify), so each
+// number in the matrix is engine/auditor-agreed, not self-reported.
+
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"luxvis/internal/config"
+	"luxvis/internal/scenario"
+	"luxvis/internal/sched"
+	"luxvis/internal/sim"
+	"luxvis/internal/verify"
+)
+
+// R1Row is one stressor's tally across its seeded runs.
+type R1Row struct {
+	// Stressor is the scenario name (see scenario.Stressors).
+	Stressor string
+	// Scenario is the parseable configuration the row ran under.
+	Scenario string
+	// Runs and Reached count total runs and runs that terminated in the
+	// goal predicate — full CV, or survivor-CV once robots crashed.
+	Runs    int
+	Reached int
+	// Epochs is the mean epoch count of the row's runs; compare against
+	// the "none" row to read the stressor's slowdown.
+	Epochs float64
+	// Collisions and Crossings are summed exact counts. Collision-
+	// freedom is the claim expected to hold everywhere; crossings are
+	// the known conservative-concurrency residual (EXPERIMENTS.md T3)
+	// and are reported, not asserted.
+	Collisions int
+	Crossings  int
+	// MaxColors is the largest per-run distinct color count — the O(1)
+	// palette claim under stress.
+	MaxColors int
+	// Crashed is the total number of robots halted by the row's crash
+	// fault across all runs.
+	Crashed int
+	// AuditOK counts runs where the independent auditor reproduced every
+	// engine verdict (collisions, crossings, palette, crashed set,
+	// terminal predicate). The matrix is trustworthy iff AuditOK == Runs
+	// in every row.
+	AuditOK int
+}
+
+// R1Result reports experiment R1.
+type R1Result struct {
+	Rows []R1Row
+	// N and Seeds record the matrix's scale.
+	N, Seeds int
+}
+
+// r1Run executes one cell run and audits it. The boolean reports
+// engine/auditor agreement on every re-derivable verdict.
+func r1Run(cfg Config, nc scenario.NamedConfig, n int, seed int64) (sim.Result, bool, error) {
+	pts := config.Generate(config.Uniform, n, seed)
+	opt := sim.DefaultOptions(sched.NewAsyncRandom(), seed)
+	opt.RecordTrace = true
+	if cfg.MaxEpochs > 0 {
+		opt.MaxEpochs = cfg.MaxEpochs
+	}
+	if err := nc.Cfg.Apply(&opt, n); err != nil {
+		return sim.Result{}, false, fmt.Errorf("R1 %s: %w", nc.Name, err)
+	}
+	res, err := sim.RunCtx(cfg.ctx(), logVis(), pts, opt)
+	if err != nil {
+		return sim.Result{}, false, fmt.Errorf("R1 %s n=%d seed=%d: %w", nc.Name, n, seed, err)
+	}
+	rep, err := verify.Audit(pts, logVis().Palette(), res)
+	if err != nil {
+		// An audit *error* (trace inconsistency, crashed-set mismatch) is
+		// a parity failure, not a harness failure: report the cell as
+		// disagreeing so the matrix surfaces it.
+		return res, false, nil
+	}
+	enginePalette := 0
+	for _, v := range res.Violations {
+		if v.Kind == sim.VPalette {
+			enginePalette++
+		}
+	}
+	ok := rep.Colocations+rep.PassThroughs == res.Collisions &&
+		rep.PathCrossings == res.PathCrossings &&
+		rep.PaletteViolations == enginePalette &&
+		rep.Crashes == len(res.Crashed) &&
+		(!res.Reached || rep.SurvivorCV)
+	return res, ok, nil
+}
+
+// R1Robustness sweeps the scenario stressor axis against the paper's
+// claims and prints the robustness matrix.
+func R1Robustness(cfg Config) (R1Result, error) {
+	n := 24
+	if cfg.Quick {
+		n = 12
+	}
+	seeds := cfg.seeds(5, 2)
+	res := R1Result{N: n, Seeds: seeds}
+	w := newTab(cfg.out())
+	fmt.Fprintf(w, "R1: robustness matrix (LogVis, uniform, n=%d, %d seeds; async-random unless the scenario overrides)\n", n, seeds)
+	fmt.Fprintln(w, "stressor\tscenario\treached\tepochs\tcollisions\tcrossings\tmax colors\tcrashed\taudit parity")
+	for _, nc := range scenario.Stressors(n) {
+		row := R1Row{Stressor: nc.Name, Scenario: nc.Cfg.String()}
+		// Seeds run in parallel (Apply builds a fresh scheduler per run,
+		// so nothing is shared); results fold in seed order so the row is
+		// deterministic regardless of completion order.
+		results := make([]sim.Result, seeds)
+		oks := make([]bool, seeds)
+		errs := make([]error, seeds)
+		var wg sync.WaitGroup
+		for i := 0; i < seeds; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], oks[i], errs[i] = r1Run(cfg, nc, n, int64(i+1))
+			}(i)
+		}
+		wg.Wait()
+		var epochSum int
+		for i := 0; i < seeds; i++ {
+			if errs[i] != nil {
+				return res, errs[i]
+			}
+			r := results[i]
+			row.Runs++
+			if r.Reached {
+				row.Reached++
+			}
+			epochSum += r.Epochs
+			row.Collisions += r.Collisions
+			row.Crossings += r.PathCrossings
+			if r.ColorsUsed > row.MaxColors {
+				row.MaxColors = r.ColorsUsed
+			}
+			row.Crashed += len(r.Crashed)
+			if oks[i] {
+				row.AuditOK++
+			}
+		}
+		row.Epochs = float64(epochSum) / float64(row.Runs)
+		res.Rows = append(res.Rows, row)
+		scn := row.Scenario
+		if scn == "" {
+			scn = "(clean)"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d/%d\t%.1f\t%d\t%d\t%d\t%d\t%d/%d\n",
+			row.Stressor, scn, row.Reached, row.Runs, row.Epochs,
+			row.Collisions, row.Crossings, row.MaxColors, row.Crashed,
+			row.AuditOK, row.Runs)
+	}
+	return res, w.Flush()
+}

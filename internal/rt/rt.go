@@ -13,10 +13,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
 
+	"luxvis/internal/exact"
 	"luxvis/internal/geom"
 	"luxvis/internal/model"
 	"luxvis/internal/sim"
@@ -37,6 +39,18 @@ type Options struct {
 	// a sleep between each, so robots are routinely observed mid-move
 	// (default 3).
 	SubSteps int
+	// CrashAfterCycles maps robot id → crash fault: the robot halts
+	// forever once it has completed that many LCM cycles (0 halts it
+	// before its first Look). A halted robot keeps its position and last
+	// published light — frozen scenery that still obstructs visibility —
+	// and the run then terminates on survivor-CV: mutual visibility among
+	// the live robots only. At least one robot must stay alive.
+	CrashAfterCycles map[int]int
+	// SensorJitter, when positive, perturbs each coordinate every robot
+	// *observes* during Look by a uniform error in [-SensorJitter,
+	// +SensorJitter]. Ground-truth positions are untouched; only the
+	// snapshot handed to Compute lies.
+	SensorJitter float64
 	// Observer receives run callbacks, like sim.Options.Observer, with
 	// two differences dictated by real concurrency: it MUST be
 	// goroutine-safe (CycleEnd arrives from n robot goroutines, EpochEnd
@@ -61,6 +75,8 @@ type Result struct {
 	Cycles int
 	// Wall is the elapsed wall-clock time.
 	Wall time.Duration
+	// Crashed lists the robots halted by CrashAfterCycles, ascending.
+	Crashed []int
 	// Final is the terminal configuration.
 	Final []geom.Point
 	// FinalColors are the terminal lights.
@@ -84,6 +100,9 @@ type world struct {
 	inFlight []bool
 	// cycles[i] counts completed cycles of robot i.
 	cycles []int
+	// crashed[i] marks robots halted by a crash fault; their goroutines
+	// have exited and they are frozen scenery from then on.
+	crashed []bool
 }
 
 // Run executes algo from start with one goroutine per robot and returns
@@ -117,6 +136,22 @@ func RunCtx(parent context.Context, algo model.Algorithm, start []geom.Point, op
 	if opt.SubSteps <= 0 {
 		opt.SubSteps = 3
 	}
+	if len(opt.CrashAfterCycles) >= n {
+		return Result{}, fmt.Errorf("rt: crash faults on %d of %d robots leave no survivor",
+			len(opt.CrashAfterCycles), n)
+	}
+	for id, after := range opt.CrashAfterCycles {
+		if id < 0 || id >= n {
+			return Result{}, fmt.Errorf("rt: crash fault names robot %d of %d", id, n)
+		}
+		if after < 0 {
+			return Result{}, fmt.Errorf("rt: crash fault for robot %d after %d cycles", id, after)
+		}
+	}
+	if opt.SensorJitter < 0 || math.IsNaN(opt.SensorJitter) || math.IsInf(opt.SensorJitter, 0) {
+		return Result{}, fmt.Errorf("rt: sensor jitter %v is not a finite non-negative amplitude",
+			opt.SensorJitter)
+	}
 
 	w := &world{
 		pos:          append([]geom.Point(nil), start...),
@@ -124,6 +159,7 @@ func RunCtx(parent context.Context, algo model.Algorithm, start []geom.Point, op
 		cleanLookSeq: make([]uint64, n),
 		inFlight:     make([]bool, n),
 		cycles:       make([]int, n),
+		crashed:      make([]bool, n),
 	}
 	for i := range w.cleanLookSeq {
 		w.cleanLookSeq[i] = ^uint64(0) // never looked
@@ -162,6 +198,11 @@ func RunCtx(parent context.Context, algo model.Algorithm, start []geom.Point, op
 		total += c
 	}
 	res.Cycles = total
+	for i, c := range w.crashed {
+		if c {
+			res.Crashed = append(res.Crashed, i)
+		}
+	}
 	w.mu.Unlock()
 	abortErr := parent.Err()
 	if opt.Observer != nil {
@@ -195,7 +236,33 @@ func robotLoop(ctx context.Context, w *world, algo model.Algorithm, id int, rng 
 	// Per-robot row cache: Look computes its visibility row under the
 	// world lock without allocating once the cache is warm.
 	var rc geom.RowCache
+	crashAfter, hasCrash := -1, false
+	if after, ok := opt.CrashAfterCycles[id]; ok {
+		crashAfter, hasCrash = after, true
+	}
+	// The jitter rng is separate from the delay rng so sensor error
+	// draws don't shift the timing sequence of an otherwise identical
+	// seed.
+	var jrng *rand.Rand
+	if opt.SensorJitter > 0 {
+		jrng = rand.New(rand.NewSource(int64(uint64(opt.Seed) ^ uint64(id)*0x5ca1ab1ec0ffee)))
+	}
+	myCycles := 0
 	for {
+		if hasCrash && myCycles >= crashAfter {
+			// Crash fault: halt forever at a cycle boundary, frozen with
+			// the position and light already published. The monitor sees
+			// the flag and stops waiting on this robot. The change bump
+			// makes the crash observable: the cached CV verdict is
+			// invalidated (the survivor set changed even though no point
+			// moved) and stability then requires every survivor to have
+			// looked at the post-crash world.
+			w.mu.Lock()
+			w.crashed[id] = true
+			w.changeSeq++
+			w.mu.Unlock()
+			return
+		}
 		if !nap() {
 			return
 		}
@@ -204,6 +271,15 @@ func robotLoop(ctx context.Context, w *world, algo model.Algorithm, id int, rng 
 		lookSeq := w.changeSeq
 		snap := snapshotLocked(w, id, &rc)
 		w.mu.Unlock()
+		if jrng != nil {
+			// Sensor error: lie to Compute about where the others are;
+			// the world itself is untouched. Outside the lock — the
+			// snapshot is already a private copy.
+			for k := range snap.Others {
+				snap.Others[k].Pos.X += (2*jrng.Float64() - 1) * opt.SensorJitter
+				snap.Others[k].Pos.Y += (2*jrng.Float64() - 1) * opt.SensorJitter
+			}
+		}
 
 		if !nap() {
 			return
@@ -242,6 +318,7 @@ func robotLoop(ctx context.Context, w *world, algo model.Algorithm, id int, rng 
 		w.cycles[id]++
 		cyc := w.cycles[id]
 		w.mu.Unlock()
+		myCycles = cyc
 		if opt.Observer != nil {
 			// Outside the world lock: a slow observer must not serialize
 			// the swarm. Event is the robot-local cycle ordinal — rt has
@@ -272,7 +349,10 @@ func snapshotLocked(w *world, id int, rc *geom.RowCache) model.Snapshot {
 // monitor watches for stability: Complete Visibility holds, nobody is in
 // flight, and every robot has completed a cycle whose Look saw the final
 // world version. It also accounts epochs, notifying obs (outside the
-// world lock) at each boundary.
+// world lock) at each boundary. Crashed robots are frozen scenery
+// throughout: they cannot hold an epoch or stability open, and once any
+// robot has crashed the terminal predicate becomes survivor-CV — mutual
+// visibility among live robots, with the halted ones still obstructing.
 func monitor(ctx context.Context, w *world, n int, obs sim.Observer) Result {
 	res := Result{}
 	// The CV check runs on a position copy outside the world lock, so
@@ -286,6 +366,7 @@ func monitor(ctx context.Context, w *world, n int, obs sim.Observer) Result {
 	var lastSeqChecked uint64
 	lastSeqChecked = ^uint64(0)
 	cvCached := false
+	var alive []bool
 	for {
 		select {
 		case <-ctx.Done():
@@ -293,9 +374,15 @@ func monitor(ctx context.Context, w *world, n int, obs sim.Observer) Result {
 		case <-tick.C:
 		}
 		w.mu.Lock()
-		// Epoch accounting.
+		// Epoch accounting over live robots only: a halted robot would
+		// freeze the epoch clock forever.
 		allCycled := true
+		anyCrashed := false
 		for i := 0; i < n; i++ {
+			if w.crashed[i] {
+				anyCrashed = true
+				continue
+			}
 			if w.cycles[i] <= epochMark[i] {
 				allCycled = false
 				break
@@ -306,10 +393,13 @@ func monitor(ctx context.Context, w *world, n int, obs sim.Observer) Result {
 			res.Epochs++
 		}
 		epochDone := allCycled
-		// Stability: no in-flight robots, all clean looks at the
-		// current world version.
+		// Stability: no live robot in flight, all live clean looks at
+		// the current world version.
 		stable := true
 		for i := 0; i < n && stable; i++ {
+			if w.crashed[i] {
+				continue
+			}
 			if w.inFlight[i] || w.cleanLookSeq[i] != w.changeSeq {
 				stable = false
 			}
@@ -318,6 +408,12 @@ func monitor(ctx context.Context, w *world, n int, obs sim.Observer) Result {
 		if stable {
 			if w.changeSeq != lastSeqChecked {
 				pos = append([]geom.Point(nil), w.pos...)
+				if anyCrashed {
+					alive = alive[:0]
+					for i := 0; i < n; i++ {
+						alive = append(alive, !w.crashed[i])
+					}
+				}
 			}
 		}
 		seq := w.changeSeq
@@ -330,8 +426,15 @@ func monitor(ctx context.Context, w *world, n int, obs sim.Observer) Result {
 		}
 		if stable {
 			if pos != nil {
-				//lint:allow ctxflow kernel dispatch is bounded compute on an internal worker pool, not open-ended waiting; a ctx parameter would tax the hot path
-				cvCached = kern.CompleteVisibilityFast(pos)
+				if len(alive) > 0 {
+					// Survivor-CV, exact: the stable state is checked once
+					// per world version, so the rational predicate's cost
+					// is off the hot path.
+					cvCached = exact.CompleteVisibilityAmong(pos, alive)
+				} else {
+					//lint:allow ctxflow kernel dispatch is bounded compute on an internal worker pool, not open-ended waiting; a ctx parameter would tax the hot path
+					cvCached = kern.CompleteVisibilityFast(pos)
+				}
 				lastSeqChecked = seq
 			}
 			if cvCached {

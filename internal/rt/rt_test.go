@@ -3,6 +3,8 @@ package rt
 import (
 	"context"
 	"errors"
+	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"luxvis/internal/core"
 	"luxvis/internal/exact"
 	"luxvis/internal/geom"
+	"luxvis/internal/model"
 	"luxvis/internal/sched"
 	"luxvis/internal/sim"
 )
@@ -126,5 +129,157 @@ func TestRunCtxCallerDeadlineBeatsMaxWall(t *testing.T) {
 	}
 	if elapsed > 30*time.Second {
 		t.Fatalf("RunCtx took %v to honor a 50ms caller deadline", elapsed)
+	}
+}
+
+// stayRT never moves; crash and jitter tests need ground truth pinned
+// to the start configuration.
+type stayRT struct{}
+
+func (stayRT) Name() string           { return "stay-rt" }
+func (stayRT) Palette() []model.Color { return []model.Color{model.Off} }
+func (stayRT) Compute(s model.Snapshot) model.Action {
+	return model.Stay(s.Self.Pos, model.Off)
+}
+
+// spyRT stays put while recording every observed position; Compute runs
+// concurrently from n goroutines, so the log is mutex-guarded.
+type spyRT struct {
+	mu   sync.Mutex
+	seen []geom.Point
+}
+
+func (*spyRT) Name() string           { return "spy-rt" }
+func (*spyRT) Palette() []model.Color { return []model.Color{model.Off} }
+func (s *spyRT) Compute(snap model.Snapshot) model.Action {
+	s.mu.Lock()
+	for _, o := range snap.Others {
+		s.seen = append(s.seen, o.Pos)
+	}
+	s.mu.Unlock()
+	return model.Stay(snap.Self.Pos, model.Off)
+}
+
+func TestStressorValidationRT(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"no survivor", Options{CrashAfterCycles: map[int]int{0: 1, 1: 1}}},
+		{"robot out of range", Options{CrashAfterCycles: map[int]int{5: 1}}},
+		{"negative cycle count", Options{CrashAfterCycles: map[int]int{0: -1}}},
+		{"negative jitter", Options{SensorJitter: -1}},
+		{"NaN jitter", Options{SensorJitter: math.NaN()}},
+		{"infinite jitter", Options{SensorJitter: math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(stayRT{}, pts, tc.opt); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestCrashSurvivorCVRT halts one corner of an already-CV square: the
+// surviving triangle satisfies survivor-CV immediately (the frozen
+// corner is convex, so it obstructs nobody) and the run must terminate
+// as Reached with the crash recorded.
+func TestCrashSurvivorCVRT(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 4), geom.Pt(0, 4)}
+	res, err := Run(stayRT{}, pts, Options{
+		Seed:             3,
+		MaxWall:          15 * time.Second,
+		MeanDelay:        50 * time.Microsecond,
+		CrashAfterCycles: map[int]int{3: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("survivor-CV not reached: %+v", res)
+	}
+	if len(res.Crashed) != 1 || res.Crashed[0] != 3 {
+		t.Fatalf("Crashed = %v, want [3]", res.Crashed)
+	}
+	if !res.Final[3].Eq(pts[3]) {
+		t.Errorf("crashed robot moved: %v", res.Final[3])
+	}
+}
+
+// TestCrashObstructsSurvivorCVRT is the negative twin: the victim
+// freezes strictly between two collinear survivors, so survivor-CV can
+// never hold — the run must time out not-Reached, with the crash still
+// recorded. The frozen robot keeps obstructing even though it is dead.
+func TestCrashObstructsSurvivorCVRT(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}
+	res, err := Run(stayRT{}, pts, Options{
+		Seed:             4,
+		MaxWall:          750 * time.Millisecond,
+		MeanDelay:        50 * time.Microsecond,
+		CrashAfterCycles: map[int]int{1: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached {
+		t.Fatal("survivor-CV granted through a frozen obstructor")
+	}
+	if len(res.Crashed) != 1 || res.Crashed[0] != 1 {
+		t.Fatalf("Crashed = %v, want [1]", res.Crashed)
+	}
+}
+
+// TestSensorJitterRT runs a staying swarm under sensor error: the run
+// still stabilizes (ground truth never moves), every observation stays
+// within the amplitude of a true position, and at least one observation
+// is actually perturbed — the snapshots lie, the world does not.
+func TestSensorJitterRT(t *testing.T) {
+	const amp = 0.01
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 4), geom.Pt(0, 4)}
+	spy := &spyRT{}
+	res, err := Run(spy, pts, Options{
+		Seed:         5,
+		MaxWall:      15 * time.Second,
+		MeanDelay:    50 * time.Microsecond,
+		SensorJitter: amp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("jittered stay run did not stabilize: %+v", res)
+	}
+	for i, p := range res.Final {
+		if !p.Eq(pts[i]) {
+			t.Fatalf("jitter moved ground truth: robot %d at %v", i, p)
+		}
+	}
+	spy.mu.Lock()
+	defer spy.mu.Unlock()
+	if len(spy.seen) == 0 {
+		t.Fatal("no observations recorded")
+	}
+	perturbed := false
+	for _, q := range spy.seen {
+		best := math.Inf(1)
+		exactHit := false
+		for _, p := range pts {
+			dx, dy := math.Abs(q.X-p.X), math.Abs(q.Y-p.Y)
+			if d := math.Max(dx, dy); d < best {
+				best = d
+			}
+			if q.Eq(p) {
+				exactHit = true
+			}
+		}
+		if best > amp+1e-12 {
+			t.Fatalf("observation %v further than the amplitude from every true position (%g)", q, best)
+		}
+		if !exactHit {
+			perturbed = true
+		}
+	}
+	if !perturbed {
+		t.Error("no observation was ever perturbed")
 	}
 }

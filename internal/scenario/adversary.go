@@ -1,0 +1,216 @@
+// Adversarial-but-legal ASYNC schedulers. Both policies here stay
+// inside the fairness contract every legal ASYNC schedule must honor —
+// no robot's activation gap ever exceeds the fairness window — while
+// spending all remaining freedom on hostility: maximizing how stale a
+// snapshot is at the moment its Compute commits to a move. Their
+// legality is not taken on faith; CheckLegality drives any scheduler
+// through a stage-faithful fake engine and fails on the first illegal
+// index, sub-step count, or starvation-window overrun.
+package scenario
+
+import (
+	"math/rand"
+
+	"luxvis/internal/sched"
+)
+
+// starved returns the robot with the oldest activation if its gap has
+// reached at least trigger events, else -1. A never-activated robot
+// (LastEvent -1) counts as activated at event 0, matching the engine's
+// convention that event 0 is the start of the run.
+func starved(st []sched.Status, now, trigger int) int {
+	idx, oldest := -1, now
+	for i := range st {
+		last := st[i].LastEvent
+		if last < 0 {
+			last = 0
+		}
+		if last < oldest {
+			oldest = last
+			idx = i
+		}
+	}
+	if idx >= 0 && now-oldest >= trigger {
+		return idx
+	}
+	return -1
+}
+
+// GreedyStale is the greedy stale-snapshot maximizer: it batches every
+// available Look immediately (snapshots are cheap to hand out), then
+// withholds the Computes — a robot holding a snapshot is advanced only
+// when no motion and no Look is available, oldest snapshot first.
+// Between those grudging Computes it runs each pending move serially to
+// completion, so by the time the k-th held snapshot reaches its
+// Compute, the world has changed under it by up to k-1 completed
+// relocations plus every sub-step in between. AsyncStale freezes all
+// decisions against one pre-wave world; GreedyStale is nastier per
+// decision — the decision itself is taken against a world that is
+// already many relocations ahead of the snapshot it uses.
+//
+// The policy is fully deterministic: Next never draws from the rng, so
+// runs reproduce without a seed and every activation has a closed-form
+// justification (useful when a matrix cell fails and must be replayed).
+type GreedyStale struct {
+	// Window is the fairness window in events (0 = sched.FairnessWindow).
+	// A robot starved to the window boundary preempts all hostility.
+	Window int
+	// SubSteps is the fixed number of sub-steps per move (≥ 1, default
+	// 4): maximal mid-move exposure without randomness.
+	SubSteps int
+}
+
+// NewGreedyStale returns the greedy stale-snapshot adversary with
+// default tuning.
+func NewGreedyStale() *GreedyStale { return &GreedyStale{SubSteps: 4} }
+
+// Name implements sched.Scheduler.
+func (*GreedyStale) Name() string { return "greedy-stale" }
+
+// Reset implements sched.Scheduler.
+func (*GreedyStale) Reset(int) {}
+
+// Next implements sched.Scheduler. Priority order: starvation override,
+// the in-flight move (finish world changes first), a pending move
+// start, a fresh Look, and only then — when nothing else is legal — the
+// oldest withheld Compute.
+func (g *GreedyStale) Next(st []sched.Status, now int, _ *rand.Rand) int {
+	w := g.Window
+	if w <= 0 {
+		w = sched.FairnessWindow
+	}
+	if i := starved(st, now, w); i >= 0 {
+		return i
+	}
+	for i := range st {
+		if st[i].Stage == sched.Moving {
+			return i
+		}
+	}
+	for i := range st {
+		if st[i].Stage == sched.Computed {
+			return i
+		}
+	}
+	for i := range st {
+		if st[i].Stage == sched.Idle {
+			return i
+		}
+	}
+	// Only robots holding snapshots remain; release the one whose
+	// snapshot has gone stalest.
+	best, bestLast := -1, 0
+	for i := range st {
+		if st[i].Stage != sched.Looked {
+			continue
+		}
+		last := st[i].LastEvent
+		if last < 0 {
+			last = 0
+		}
+		if best < 0 || last < bestLast {
+			best, bestLast = i, last
+		}
+	}
+	if best < 0 {
+		// Unreachable: every stage is covered above. Satisfy the
+		// contract with a valid index.
+		return 0
+	}
+	return best
+}
+
+// MoveSteps implements sched.Scheduler.
+func (g *GreedyStale) MoveSteps(*rand.Rand) int {
+	if g.SubSteps < 1 {
+		return 1
+	}
+	return g.SubSteps
+}
+
+// StarveEdge rides the starvation edge: one victim at a time is frozen
+// for as long as the fairness window legally allows — activated only
+// when its gap reaches window-1 events — while every other robot
+// free-runs round-robin. Each of the victim's cycle stages is therefore
+// separated from the next by a full window of world changes; when its
+// Compute finally runs, the snapshot backing it is stale by roughly
+// 2·window events of other robots' motion. The victim rotates after
+// completing one full cycle, so over a long run every robot takes a
+// turn being maximally starved — the per-robot worst case of the ASYNC
+// model, applied to each robot in sequence.
+type StarveEdge struct {
+	// Window is the fairness window in events (0 = sched.FairnessWindow).
+	// The victim is activated at a gap of window-1, one event inside the
+	// legal bound.
+	Window int
+	// SubSteps is the fixed number of sub-steps per move (≥ 1, default 4).
+	SubSteps int
+
+	victim     int
+	victimBase int
+	rr         int
+	started    bool
+}
+
+// NewStarveEdge returns the starvation-edge adversary with default
+// tuning.
+func NewStarveEdge() *StarveEdge { return &StarveEdge{SubSteps: 4} }
+
+// Name implements sched.Scheduler.
+func (*StarveEdge) Name() string { return "starve-edge" }
+
+// Reset implements sched.Scheduler.
+func (s *StarveEdge) Reset(int) {
+	s.victim = 0
+	s.victimBase = 0
+	s.rr = 0
+	s.started = false
+}
+
+// Next implements sched.Scheduler.
+func (s *StarveEdge) Next(st []sched.Status, now int, _ *rand.Rand) int {
+	if s.victim >= len(st) {
+		// The engine compacts the status view after a crash; re-aim at a
+		// live slot.
+		s.victim = 0
+		s.started = false
+	}
+	if !s.started {
+		s.started = true
+		s.victimBase = st[s.victim].Cycles
+	}
+	if st[s.victim].Cycles > s.victimBase {
+		// The victim survived a full maximally-starved cycle; pass the
+		// treatment to the next robot.
+		s.victim = (s.victim + 1) % len(st)
+		s.victimBase = st[s.victim].Cycles
+	}
+	w := s.Window
+	if w <= 0 {
+		w = sched.FairnessWindow
+	}
+	last := st[s.victim].LastEvent
+	if last < 0 {
+		last = 0
+	}
+	if now-last >= w-1 {
+		return s.victim
+	}
+	for tries := 0; tries < len(st); tries++ {
+		r := s.rr % len(st)
+		s.rr++
+		if r != s.victim {
+			return r
+		}
+	}
+	// Single-robot swarm: the victim is all there is.
+	return s.victim
+}
+
+// MoveSteps implements sched.Scheduler.
+func (s *StarveEdge) MoveSteps(*rand.Rand) int {
+	if s.SubSteps < 1 {
+		return 1
+	}
+	return s.SubSteps
+}

@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"testing"
+
+	"luxvis/internal/geom"
+	"luxvis/internal/model"
+	"luxvis/internal/sched"
+	"luxvis/internal/sim"
+)
+
+// fuzzMover is a minimal deterministic algorithm for fuzz runs: it
+// drifts toward the centroid of what it sees, so moves, sub-steps and
+// safety checks all execute without depending on the heavier paper
+// algorithm.
+type fuzzMover struct{}
+
+func (fuzzMover) Name() string           { return "fuzz-mover" }
+func (fuzzMover) Palette() []model.Color { return []model.Color{model.Off, model.Line} }
+func (fuzzMover) Compute(s model.Snapshot) model.Action {
+	if len(s.Others) == 0 {
+		return model.Stay(s.Self.Pos, model.Off)
+	}
+	var cx, cy float64
+	for _, o := range s.Others {
+		cx += o.Pos.X
+		cy += o.Pos.Y
+	}
+	cx /= float64(len(s.Others))
+	cy /= float64(len(s.Others))
+	mid := geom.Pt((s.Self.Pos.X+cx)/2, (s.Self.Pos.Y+cy)/2)
+	if mid.Eq(s.Self.Pos) {
+		return model.Stay(s.Self.Pos, model.Off)
+	}
+	return model.MoveTo(mid, model.Line)
+}
+
+// FuzzScenarioConfig feeds arbitrary strings through the full scenario
+// pipeline — Parse, Apply, and a bounded engine run — and requires that
+// no input ever panics or hangs it. Malformed inputs must be rejected
+// with an error; well-formed-but-extreme inputs (huge windows, crash
+// counts at the survivor boundary, enormous jitter) must run to the
+// event cap and return. The event budget is fixed BEFORE Apply so crash
+// fractions arm against the same small cap that bounds the run.
+func FuzzScenarioConfig(f *testing.F) {
+	seeds := []string{
+		"",
+		"sched=greedy-stale",
+		"sched=starve-edge,window=64",
+		"sched=async-random,window=32,substeps=8",
+		"crash=2",
+		"crash=2@0.5:moving",
+		"crash=5@0:idle",
+		"crash=1@1:looked",
+		"jitter=1e-6",
+		"jitter=1e308",
+		"nonrigid=minimal",
+		"nonrigid=bimodal",
+		"sched=greedy-stale,crash=2@0.25,jitter=1e-9,nonrigid=quadratic",
+		"sched=starve-edge,window=1,substeps=1",
+		"window=2147483647",
+		"crash=,,",
+		"crash=2@0.5:moving:extra",
+		"sched=fsync,sched=ssync",
+		"=,==,=",
+		"jitter=-0",
+		"nonrigid=",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(40, 3), geom.Pt(17, 29),
+		geom.Pt(-12, 18), geom.Pt(8, -21), geom.Pt(-9, -7),
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		cfg, err := Parse(input)
+		if err != nil {
+			return
+		}
+		// Round-trip invariant: anything Parse accepts, its rendering
+		// must re-parse to the same value.
+		again, err := Parse(cfg.String())
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but Parse(String()=%q) failed: %v", input, cfg.String(), err)
+		}
+		if again != cfg {
+			t.Fatalf("round trip of %q: %+v != %+v", input, again, cfg)
+		}
+		opt := sim.Options{
+			Scheduler: sched.NewAsyncRoundRobin(),
+			Seed:      1,
+			MaxEpochs: 4,
+			MaxEvents: 3000,
+		}
+		if err := cfg.Apply(&opt, len(pts)); err != nil {
+			return
+		}
+		// Whatever the knobs, a bounded run must terminate cleanly:
+		// invalid stressor combinations error out of Run, valid ones
+		// run to quiescence or the 3000-event cap.
+		if _, err := sim.Run(fuzzMover{}, pts, opt); err != nil {
+			// Errors are acceptable (sim validation may reject extreme
+			// configs); panics and hangs are what this fuzz hunts.
+			return
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"luxvis/internal/sched"
+)
+
+// CheckLegality drives a scheduler through a stage-faithful fake engine
+// for the given number of events and returns an error on the first
+// violation of the ASYNC legality contract:
+//
+//   - every index returned by Next is in [0, n);
+//   - every MoveSteps result is ≥ 1;
+//   - no robot's activation gap ever exceeds window events (the
+//     fairness bound — an adversary may starve a robot *to* the window,
+//     never past it).
+//
+// The fake engine mirrors internal/sim's stage machine exactly: Idle
+// robots Look, Looked robots Compute (randomly staying or arming a
+// move of MoveSteps sub-steps), Computed/Moving robots advance one
+// sub-step, and LastEvent advances the way the real event loop advances
+// it. The adversarial schedulers in this package and every built-in in
+// internal/sched must pass this check — it is the boundary between
+// "hostile scheduling" and "broken scheduling".
+func CheckLegality(s sched.Scheduler, n, events int, seed int64, window int) error {
+	if n <= 0 {
+		return fmt.Errorf("scenario: legality check needs n > 0, got %d", n)
+	}
+	if window <= 0 {
+		window = sched.FairnessWindow
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s.Reset(n)
+	st := make([]sched.Status, n)
+	for i := range st {
+		st[i].LastEvent = -1
+	}
+	for now := 0; now < events; now++ {
+		// Fairness first: a robot whose gap already exceeds the window
+		// cannot be saved by this event.
+		for i := range st {
+			last := st[i].LastEvent
+			if last < 0 {
+				last = 0
+			}
+			if gap := now - last; gap > window {
+				return fmt.Errorf("scenario: %s starved robot %d for %d events (window %d) at event %d",
+					s.Name(), i, gap, window, now)
+			}
+		}
+		r := s.Next(st, now, rng)
+		if r < 0 || r >= n {
+			return fmt.Errorf("scenario: %s returned robot %d of %d at event %d", s.Name(), r, n, now)
+		}
+		switch st[r].Stage {
+		case sched.Idle:
+			st[r].Stage = sched.Looked
+		case sched.Looked:
+			// Half the cycles stay (completing immediately, as the real
+			// engine does for a stay action), half arm a move.
+			if rng.Intn(2) == 0 {
+				st[r].Stage = sched.Idle
+				st[r].Cycles++
+			} else {
+				steps := s.MoveSteps(rng)
+				if steps < 1 {
+					return fmt.Errorf("scenario: %s returned MoveSteps %d", s.Name(), steps)
+				}
+				st[r].Stage = sched.Computed
+				st[r].StepsLeft = steps
+			}
+		case sched.Computed, sched.Moving:
+			st[r].Stage = sched.Moving
+			st[r].StepsLeft--
+			if st[r].StepsLeft <= 0 {
+				st[r].Stage = sched.Idle
+				st[r].StepsLeft = 0
+				st[r].Cycles++
+			}
+		}
+		st[r].LastEvent = now + 1
+	}
+	return nil
+}

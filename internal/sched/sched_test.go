@@ -174,6 +174,78 @@ func TestSSyncAtomicRounds(t *testing.T) {
 	}
 }
 
+// TestMostStarvedTable pins the starvation detector's edges directly:
+// the helper every fairness window is built on must be safe on an empty
+// status slice, pick the oldest robot (lowest index on ties) when the
+// whole swarm is past the window, and stay quiet while everyone is
+// fresh.
+func TestMostStarvedTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		st     []Status
+		now    int
+		window int
+		want   int
+	}{
+		{"empty status slice", nil, 100, 10, -1},
+		{"single robot fresh", []Status{{LastEvent: 95}}, 100, 10, -1},
+		{"single robot starved", []Status{{LastEvent: 0}}, 100, 10, 0},
+		{"single robot exactly at window", []Status{{LastEvent: 90}}, 100, 10, 0},
+		{"single robot one inside window", []Status{{LastEvent: 91}}, 100, 10, -1},
+		{"never-activated sentinel", []Status{{LastEvent: -1}}, 0, 10, -1},
+		{"all starved picks oldest", []Status{{LastEvent: 5}, {LastEvent: 2}, {LastEvent: 8}}, 100, 10, 1},
+		{"all-starved tie keeps lowest index", []Status{{LastEvent: 2}, {LastEvent: 2}, {LastEvent: 2}}, 100, 10, 0},
+		{"one starved among fresh", []Status{{LastEvent: 99}, {LastEvent: 3}, {LastEvent: 98}}, 100, 10, 1},
+		{"nobody starved", []Status{{LastEvent: 99}, {LastEvent: 97}, {LastEvent: 98}}, 100, 10, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := mostStarved(tc.st, tc.now, tc.window); got != tc.want {
+				t.Errorf("mostStarved(%v, now=%d, window=%d) = %d, want %d",
+					tc.st, tc.now, tc.window, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSSyncRoundDoneTable drives the round-boundary predicate through
+// its degenerate shapes: the empty swarm, a vacuously-done round with
+// nobody selected, and the single-robot swarm where every round is a
+// solo cycle.
+func TestSSyncRoundDoneTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		selected []bool
+		base     []int
+		cycles   []int
+		want     bool
+	}{
+		{"empty status slice", nil, nil, nil, true},
+		{"nobody selected is vacuously done", []bool{false, false}, []int{0, 0}, []int{0, 0}, true},
+		{"single robot pending", []bool{true}, []int{0}, []int{0}, false},
+		{"single robot done", []bool{true}, []int{0}, []int{1}, true},
+		{"unselected progress does not count", []bool{true, false}, []int{0, 0}, []int{0, 5}, false},
+		{"unselected laggard does not block", []bool{false, true}, []int{0, 0}, []int{0, 1}, true},
+		{"all selected, one pending", []bool{true, true, true}, []int{2, 2, 2}, []int{3, 2, 3}, false},
+		{"all selected, all done", []bool{true, true, true}, []int{2, 2, 2}, []int{3, 3, 3}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSSync(0.5)
+			s.selected = tc.selected
+			s.base = tc.base
+			st := make([]Status, len(tc.cycles))
+			for i, c := range tc.cycles {
+				st[i].Cycles = c
+			}
+			if got := s.roundDone(st); got != tc.want {
+				t.Errorf("roundDone(selected=%v base=%v cycles=%v) = %v, want %v",
+					tc.selected, tc.base, tc.cycles, got, tc.want)
+			}
+		})
+	}
+}
+
 func TestAsyncRandomFairness(t *testing.T) {
 	const n = 10
 	fe := newFakeEngine(n)

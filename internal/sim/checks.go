@@ -20,6 +20,12 @@ import (
 // the configuration is stable forever.
 func (e *engine) quiescent() bool {
 	for i := range e.st {
+		if e.isCrashed(i) {
+			// A halted robot is frozen scenery: whatever stage it died
+			// in, it will never move or look again, so it cannot block
+			// stability — only obstruct visibility.
+			continue
+		}
 		switch e.st[i].Stage {
 		case sched.Moving:
 			return false
@@ -48,7 +54,13 @@ func (e *engine) cvNow() bool {
 			//lint:allow detsource observer-gated timing counter; never influences control flow
 			t0 = time.Now()
 		}
-		e.cvCacheVal = e.vk.CompleteVisibilityFast(e.pos)
+		if e.numCrashed > 0 {
+			// Crash runs terminate on survivor-CV: every surviving pair
+			// mutually visible, crashed robots still obstructing.
+			e.cvCacheVal = e.survivorCV()
+		} else {
+			e.cvCacheVal = e.vk.CompleteVisibilityFast(e.pos)
+		}
 		if e.obs != nil {
 			//lint:allow detsource observer-gated timing counter; never influences control flow
 			e.res.Kernel.CVNanos += time.Since(t0).Nanoseconds()
@@ -62,6 +74,11 @@ func (e *engine) cvNow() bool {
 // Visibility at the boundary for the FirstCVEpoch metric.
 func (e *engine) accountEpoch() {
 	for i := range e.st {
+		if e.isCrashed(i) {
+			// Epochs are spans where every *live* robot cycles; counting
+			// halted robots would freeze the epoch clock forever.
+			continue
+		}
 		if e.st[i].Cycles <= e.epochBase[i] {
 			return
 		}
@@ -148,27 +165,55 @@ func (e *engine) checkSubStep(r int, old, next geom.Point) {
 	}
 }
 
-// checkPathCross verifies a newly started move of robot r against every
-// move it is concurrent with. Two moves are concurrent when either
-// robot's cycle span (from its Look to its move end) overlaps the
-// other's motion: in the continuous-time model an adversarial scheduler
-// could then have run the motions simultaneously. The check covers both
-// currently active moves and recently completed moves that ended after
-// robot r's Look. Properly crossing or collinearly overlapping paths of
-// concurrent moves violate the paper's "paths do not cross" guarantee.
-// Every conflicting pair is examined exactly once — when the later move
-// starts.
-func (e *engine) checkPathCross(r int, seg geom.Segment) {
-	for o := range e.activeMoves {
-		if o != r && e.activeMove[o] {
-			e.confirmPathCross(r, o, seg, e.activeMoves[o])
-		}
-	}
-	myLook := e.plan[r].lookEvent
+// endMove records a just-ended motion of robot r — completed, crash-
+// interrupted, or still in flight when the run's event budget expired —
+// and verifies its executed segment against every earlier-ended move it
+// is concurrent with. Two moves are concurrent when either robot's
+// cycle span (from its Look to its move end) overlaps the other's
+// motion: in the continuous-time model an adversarial scheduler could
+// then have run the motions simultaneously. Properly crossing or
+// collinearly overlapping paths of concurrent moves violate the paper's
+// "paths do not cross" guarantee.
+//
+// Every conflicting pair is examined exactly once — when the later of
+// the two moves ends. (The earlier move is then still in recentMoves:
+// pruning keeps any move that ended after some in-progress cycle's
+// Look, and the later mover's own Look pins that window open.) Checking
+// at move end rather than move start means the check always sees
+// executed segments — for a crash-interrupted move the traveled prefix
+// rather than the planned path — so the engine's verdict coincides with
+// what verify.Audit reconstructs from the trace.
+//
+// endEvent is the event of the move's final executed sub-step, not the
+// event at which the interruption (crash, budget) was noticed: between
+// the two the robot changed nothing, so nothing later can have been
+// concurrent with its motion.
+func (e *engine) endMove(r int, seg geom.Segment, lookEvent, endEvent int) {
 	for _, dm := range e.recentMoves {
-		if dm.robot != r && dm.endEvent > myLook {
+		if dm.robot != r && dm.endEvent > lookEvent {
 			e.confirmPathCross(r, dm.robot, seg, dm.seg)
 		}
+	}
+	e.recentMoves = append(e.recentMoves, doneMove{
+		robot:     r,
+		seg:       seg,
+		lookEvent: lookEvent,
+		endEvent:  endEvent,
+	})
+}
+
+// flushInFlightMoves ends, at run termination, every move still in
+// flight (a robot caught mid-motion by the event budget): its traveled
+// prefix is an executed segment the path-crossing accounting must see,
+// exactly as verify.Audit will see it when it flushes open moves at the
+// trace's last event. Robots are flushed in index order so replays of
+// one seed record violations identically.
+func (e *engine) flushInFlightMoves() {
+	for r := range e.st {
+		if e.st[r].Stage != sched.Moving || e.isCrashed(r) {
+			continue
+		}
+		e.endMove(r, geom.Seg(e.plan[r].from, e.pos[r]), e.plan[r].lookEvent, e.plan[r].lastStep)
 	}
 }
 
@@ -198,6 +243,11 @@ func (e *engine) confirmPathCross(r, o int, seg, oseg geom.Segment) {
 func (e *engine) pruneRecentMoves() {
 	minLook := e.now
 	for i := range e.st {
+		if e.isCrashed(i) {
+			// A robot halted past Look holds its snapshot forever; its
+			// cycle will never run, so it must not pin the window open.
+			continue
+		}
 		if e.st[i].Stage != sched.Idle && e.snapLook[i] >= 0 && e.snapLook[i] < minLook {
 			minLook = e.snapLook[i]
 		}
@@ -215,6 +265,9 @@ func (e *engine) pruneRecentMoves() {
 // terminal predicate with exact arithmetic.
 func (e *engine) finish() {
 	e.res.Events = e.now
+	if !e.opt.SkipSafetyChecks {
+		e.flushInFlightMoves()
+	}
 	e.res.Epochs = e.epochs
 	if e.vsnap != nil {
 		s := e.vsnap.Stats()
@@ -233,7 +286,8 @@ func (e *engine) finish() {
 			e.res.MaxRobotDist = d
 		}
 	}
-	if e.res.Reached && !exact.CompleteVisibilityHybrid(e.pos) {
+	e.sortCrashed()
+	if e.res.Reached && !e.confirmReachedExact() {
 		// The float predicate accepted a configuration the exact one
 		// rejects; report the run as not reached so experiments surface
 		// the discrepancy instead of hiding it.

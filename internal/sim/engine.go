@@ -42,6 +42,22 @@ type Options struct {
 	// MinMoveFrac is the guaranteed fraction of a non-rigid move
 	// (default 0.3). Values outside (0, 1] are clamped.
 	MinMoveFrac float64
+	// NonRigidDist selects the truncation-fraction distribution when
+	// NonRigid is set. The empty default is NonRigidUniform and replays
+	// historical seeds byte-for-byte; see NonRigidDists for the rest.
+	NonRigidDist NonRigidDist
+	// Crashes schedules fail-stop faults (see CrashSpec). Crashed robots
+	// freeze in place with their last published light and stay visible
+	// to survivors; the run's terminal predicate becomes Complete
+	// Visibility among survivors, with crashed robots still obstructing.
+	Crashes []CrashSpec
+	// SensorJitter, when positive, perturbs every observed position in a
+	// snapshot's Others by an independent uniform offset in
+	// [-SensorJitter, +SensorJitter] per coordinate. Only observations
+	// are perturbed — the world, the trace, and all safety checks see
+	// exact positions. Jitter draws come from a dedicated RNG stream, so
+	// the scheduler interleaving of a seed is unchanged.
+	SensorJitter float64
 	// SkipSafetyChecks disables collision and path-crossing
 	// verification (for raw-throughput benchmarks only).
 	SkipSafetyChecks bool
@@ -134,7 +150,7 @@ type EpochSample struct {
 type TraceEvent struct {
 	Event int
 	Robot int
-	Kind  string // "look", "compute", "step"
+	Kind  string // "look", "compute", "step", "crash"
 	Pos   geom.Point
 	Color model.Color
 }
@@ -147,8 +163,13 @@ type Result struct {
 	Seed      int64
 
 	// Reached reports whether the run terminated in a quiescent
-	// Complete Visibility configuration (verified exactly).
+	// Complete Visibility configuration (verified exactly). On a run
+	// with fired crash faults the predicate is Complete Visibility among
+	// survivors, with crashed robots still acting as obstructions.
 	Reached bool
+	// Crashed lists the robots halted by fired crash faults, ascending.
+	// Specs that never fired (stage never revisited) are not included.
+	Crashed []int
 	// Epochs is the number of completed epochs at quiescence (or at
 	// abort). An epoch is a minimal span in which every robot completes
 	// at least one full LCM cycle.
@@ -226,6 +247,11 @@ type movePlan struct {
 	// two moves are treated as concurrent when either's cycle span
 	// (Look to move end) overlaps the other's motion.
 	lookEvent int
+	// lastStep is the event of the most recent executed sub-step: the
+	// moment the executed segment last grew. A move interrupted by a
+	// crash or the event budget ends *there* for concurrency purposes —
+	// between lastStep and the interruption the robot changed nothing.
+	lastStep int
 }
 
 // doneMove is a completed move retained for the concurrency-aware
@@ -288,21 +314,34 @@ type engine struct {
 	robotDist []float64
 	colorMask uint32
 
-	// active moves for path-crossing checks, indexed by robot; entry r
-	// is valid only while activeMove[r] is set (robot r in Moving
-	// stage). A dense slice rather than a map so the path-crossing scan
-	// visits robots in index order — map iteration order would make the
-	// order of recorded violations differ between replays of one seed.
-	activeMoves []geom.Segment
-	activeMove  []bool
-	// recentMoves are completed moves that may still overlap an
-	// in-progress cycle (see doneMove).
+	// recentMoves are ended moves that may still overlap an in-progress
+	// cycle (see doneMove). Path-crossing pairs are examined when the
+	// later of the two moves ends, so every check sees executed
+	// segments — for a crash-interrupted move the traveled prefix, not
+	// the planned path — and the engine's verdict matches what
+	// verify.Audit reconstructs from the trace.
 	recentMoves []doneMove
 	// idx is the spatial index over current positions, used to filter
 	// the per-sub-step collision scan (nil with SkipSafetyChecks).
 	idx *grid.Index
 	// nearBuf is the reusable candidate buffer for idx queries.
 	nearBuf []int
+
+	// Crash-fault state (see stressors.go). crashed is nil until the
+	// first fault fires; numCrashed gates every crash-aware branch so a
+	// clean run pays one predictable comparison.
+	crashed      []bool
+	numCrashed   int
+	crashPending []CrashSpec
+	// aliveIdx maps compacted survivor indices (what the scheduler sees
+	// after a crash) back to engine robot indices; stBuf is the reusable
+	// compacted status view.
+	aliveIdx []int
+	stBuf    []sched.Status
+	// jrng is the dedicated sensor-jitter stream (nil unless
+	// SensorJitter > 0); kept apart from rng so jitter draws never shift
+	// the scheduler interleaving.
+	jrng *rand.Rand
 }
 
 // Run executes algo from the start configuration under opt and returns
@@ -356,12 +395,15 @@ func RunCtx(ctx context.Context, algo model.Algorithm, start []geom.Point, opt O
 		opt.MaxEpochs = DefaultMaxEpochs
 	}
 	if opt.MaxEvents <= 0 {
-		opt.MaxEvents = opt.MaxEpochs*n*16 + 100_000
+		opt.MaxEvents = DefaultMaxEvents(opt.MaxEpochs, n)
 	}
 	// The !(inside) form also catches NaN, which would otherwise slip
 	// through both comparisons and poison every Lerp of the run.
 	if !(opt.MinMoveFrac > 0 && opt.MinMoveFrac <= 1) {
 		opt.MinMoveFrac = DefaultMinMoveFrac
+	}
+	if err := validateStressors(&opt, n); err != nil {
+		return Result{}, err
 	}
 
 	e := &engine{
@@ -382,8 +424,12 @@ func RunCtx(ctx context.Context, algo model.Algorithm, start []geom.Point, opt O
 		epochBase:     make([]int, n),
 		cvCacheAt:     -1,
 		robotDist:     make([]float64, n),
-		activeMoves:   make([]geom.Segment, n),
-		activeMove:    make([]bool, n),
+	}
+	if len(opt.Crashes) > 0 {
+		e.crashPending = append([]CrashSpec(nil), opt.Crashes...)
+	}
+	if opt.SensorJitter > 0 {
+		e.jrng = rand.New(rand.NewSource(opt.Seed ^ jitterSeedSalt))
 	}
 	for _, c := range algo.Palette() {
 		e.palette[c] = true
@@ -435,14 +481,16 @@ func RunCtx(ctx context.Context, algo model.Algorithm, start []geom.Point, opt O
 func (e *engine) loop() {
 	checkedEpoch := 0
 	for e.now < e.opt.MaxEvents && e.epochs < e.opt.MaxEpochs {
+		if len(e.crashPending) > 0 {
+			// Faults fire before the quiescence check so a crash that
+			// completes survivor-CV terminates the run at this event.
+			e.fireCrashes()
+		}
 		if e.quiescent() {
 			e.res.Reached = true
 			return
 		}
-		r := e.opt.Scheduler.Next(e.st, e.now, e.rng)
-		if r < 0 || r >= len(e.st) {
-			panic(fmt.Sprintf("sim: scheduler %s returned invalid robot %d", e.opt.Scheduler.Name(), r))
-		}
+		r := e.nextRobot()
 		e.advance(r)
 		e.now++
 		e.st[r].LastEvent = e.now
@@ -487,6 +535,9 @@ func (e *engine) doLook(r int) {
 	for i, j := range vis {
 		others[i] = model.RobotView{Pos: e.pos[j], Color: e.col[j]}
 	}
+	if e.opt.SensorJitter > 0 {
+		e.jitterViews(others)
+	}
 	e.snap[r] = model.Snapshot{
 		Self:   model.RobotView{Pos: e.pos[r], Color: e.col[r]},
 		Others: others,
@@ -521,8 +572,9 @@ func (e *engine) doCompute(r int) {
 	target := a.Target
 	if e.opt.NonRigid {
 		// The motion adversary may stop the robot anywhere past the
-		// guaranteed fraction of its intended segment.
-		f := e.opt.MinMoveFrac + e.rng.Float64()*(1-e.opt.MinMoveFrac)
+		// guaranteed fraction of its intended segment; the distribution
+		// of the fraction is an Options knob (see NonRigidDist).
+		f := e.drawMoveFrac()
 		if f < 1 {
 			target = e.pos[r].Lerp(a.Target, f)
 		}
@@ -540,15 +592,10 @@ func (e *engine) doCompute(r int) {
 func (e *engine) doMoveStep(r int) {
 	p := &e.plan[r]
 	if e.st[r].Stage == sched.Computed {
-		// First step: the move becomes active; check its full path
-		// against all currently active moves.
+		// First step: the move becomes active. Its path-crossing check is
+		// deferred to the move's end (see endMove), when the executed
+		// segment is known.
 		e.st[r].Stage = sched.Moving
-		seg := geom.Seg(p.from, p.target)
-		if !e.opt.SkipSafetyChecks {
-			e.checkPathCross(r, seg)
-		}
-		e.activeMoves[r] = seg
-		e.activeMove[r] = true
 	}
 	p.stepsDone++
 	e.st[r].StepsLeft--
@@ -561,6 +608,7 @@ func (e *engine) doMoveStep(r int) {
 	if !e.opt.SkipSafetyChecks {
 		e.checkSubStep(r, old, next)
 	}
+	p.lastStep = e.now
 	e.pos[r] = next
 	e.vsnap.Update(r, next)
 	if e.idx != nil {
@@ -573,14 +621,8 @@ func (e *engine) doMoveStep(r int) {
 		e.res.Moves++
 		e.res.TotalDist += d
 		e.robotDist[r] += d
-		e.activeMove[r] = false
 		if !e.opt.SkipSafetyChecks {
-			e.recentMoves = append(e.recentMoves, doneMove{
-				robot:     r,
-				seg:       geom.Seg(p.from, p.target),
-				lookEvent: p.lookEvent,
-				endEvent:  e.now,
-			})
+			e.endMove(r, geom.Seg(p.from, p.target), p.lookEvent, p.lastStep)
 			e.pruneRecentMoves()
 		}
 		if e.obs != nil {

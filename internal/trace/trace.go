@@ -27,6 +27,11 @@ type Header struct {
 	Epochs    int    `json:"epochs"`
 	Events    int    `json:"events"`
 	Reached   bool   `json:"reached"`
+	// Crashed lists the robots halted by crash faults, ascending; absent
+	// for clean runs. The stream's "crash" events are the authoritative
+	// record — this field is summary provenance for tools that read only
+	// the header.
+	Crashed []int `json:"crashed,omitempty"`
 	// Note carries free-form provenance for partial streams — the
 	// flight recorder stamps its dump reason here. Empty (and absent
 	// from the JSON) for full RecordTrace traces.
@@ -35,7 +40,7 @@ type Header struct {
 
 // Event is one engine event in a JSONL trace stream.
 type Event struct {
-	Kind  string  `json:"kind"` // "look" | "compute" | "step"
+	Kind  string  `json:"kind"` // "look" | "compute" | "step" | "crash"
 	Event int     `json:"event"`
 	Robot int     `json:"robot"`
 	X     float64 `json:"x"`
@@ -54,6 +59,7 @@ func HeaderOf(res sim.Result) Header {
 		Epochs:    res.Epochs,
 		Events:    res.Events,
 		Reached:   res.Reached,
+		Crashed:   res.Crashed,
 	}
 }
 

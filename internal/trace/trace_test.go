@@ -46,6 +46,41 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 }
 
+// TestJSONLCrashRoundTrip pins the crash-fault wire format: the header
+// carries the crashed set as summary provenance and "crash" events
+// survive the round trip, so visreplay -verify can rebuild the engine's
+// crashed set from a serialized trace.
+func TestJSONLCrashRoundTrip(t *testing.T) {
+	res := sampleResult()
+	res.Crashed = []int{1, 2}
+	res.Trace = append(res.Trace,
+		sim.TraceEvent{Event: 4, Robot: 1, Kind: "crash", Pos: geom.Pt(5, 6)},
+		sim.TraceEvent{Event: 5, Robot: 2, Kind: "crash", Pos: geom.Pt(7, 8)},
+	)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	h, events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Crashed) != 2 || h.Crashed[0] != 1 || h.Crashed[1] != 2 {
+		t.Errorf("header crashed = %v", h.Crashed)
+	}
+	if events[3].Kind != "crash" || events[3].Robot != 1 || events[3].X != 5 {
+		t.Errorf("crash event = %+v", events[3])
+	}
+	// Clean runs keep the field out of the wire entirely.
+	var clean bytes.Buffer
+	if err := WriteJSONL(&clean, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.String(), "crashed") {
+		t.Error("clean header serialized a crashed field")
+	}
+}
+
 func TestReadJSONLRejectsHeaderless(t *testing.T) {
 	r := strings.NewReader(`{"kind":"step","event":1}` + "\n")
 	if _, _, err := ReadJSONL(r); err == nil {

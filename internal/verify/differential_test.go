@@ -10,6 +10,7 @@ import (
 	"luxvis/internal/core"
 	"luxvis/internal/exact"
 	"luxvis/internal/model"
+	"luxvis/internal/scenario"
 	"luxvis/internal/sched"
 	"luxvis/internal/sim"
 )
@@ -90,6 +91,72 @@ func TestDifferentialSweep(t *testing.T) {
 		if res.Reached && !rep.FinalCV {
 			t.Errorf("draw %d (%s n=%d seed=%d): engine reached CV but auditor's exact check fails",
 				d, label(), n, seed)
+		}
+	}
+}
+
+// TestDifferentialScenarioSweep extends the sweep into the stressor
+// space: adversarial schedulers and crash faults (alone and composed)
+// drawn over random sizes and seeds, every cell pushed through the same
+// engine-vs-auditor parity gate. For crash runs the terminal predicate
+// the engine's Reached refers to is SurvivorCV, not FinalCV — the
+// crashed trio may well break full Complete Visibility while every
+// survivor pair sees each other.
+func TestDifferentialScenarioSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario differential sweep in -short mode")
+	}
+	scenarios := []string{
+		"sched=greedy-stale,window=768",
+		"sched=starve-edge,window=256",
+		"crash=2@0.25",
+		"crash=1@0.3:moving",
+		"crash=1@0.5:looked,jitter=1e-7",
+		"sched=greedy-stale,window=768,crash=2@0.2",
+	}
+	rng := rand.New(rand.NewSource(20260807))
+	const draws = 24
+	for d := 0; d < draws; d++ {
+		sc := scenarios[d%len(scenarios)]
+		n := 8 + rng.Intn(17) // 8..24
+		seed := int64(1 + rng.Intn(1000))
+
+		cfg, err := scenario.Parse(sc)
+		if err != nil {
+			t.Fatalf("draw %d: Parse(%q): %v", d, sc, err)
+		}
+		opt := sim.DefaultOptions(sched.NewAsyncRandom(), seed)
+		opt.MaxEpochs = 256
+		opt.RecordTrace = true
+		if err := cfg.Apply(&opt, n); err != nil {
+			t.Fatalf("draw %d: Apply(%q, n=%d): %v", d, sc, n, err)
+		}
+		pts := config.Generate(config.Uniform, n, seed)
+		res, err := sim.Run(core.NewLogVis(), pts, opt)
+		if err != nil {
+			t.Fatalf("draw %d (%q n=%d seed=%d): sim.Run: %v", d, sc, n, seed, err)
+		}
+		// Audit errors are parity failures in themselves: trace/engine
+		// disagreement on the crashed set or final positions.
+		rep, err := Audit(pts, core.NewLogVis().Palette(), res)
+		if err != nil {
+			t.Fatalf("draw %d (%q n=%d seed=%d): Audit: %v", d, sc, n, seed, err)
+		}
+		if got, want := rep.Colocations+rep.PassThroughs, res.Collisions; got != want {
+			t.Errorf("draw %d (%q n=%d seed=%d): auditor collisions %d, engine %d\n%v",
+				d, sc, n, seed, got, want, rep.Problems)
+		}
+		if got, want := rep.PathCrossings, res.PathCrossings; got != want {
+			t.Errorf("draw %d (%q n=%d seed=%d): auditor crossings %d, engine %d\n%v",
+				d, sc, n, seed, got, want, rep.Problems)
+		}
+		if got, want := rep.Crashes, len(res.Crashed); got != want {
+			t.Errorf("draw %d (%q n=%d seed=%d): auditor crashes %d, engine %d",
+				d, sc, n, seed, got, want)
+		}
+		if res.Reached && !rep.SurvivorCV {
+			t.Errorf("draw %d (%q n=%d seed=%d): engine reached but auditor's survivor-CV fails",
+				d, sc, n, seed)
 		}
 	}
 }

@@ -7,6 +7,14 @@
 // its bookkeeping, so agreement between the two is a genuine cross-check
 // (the engine watching itself is not).
 //
+// Crash-fault runs audit the same way: a "crash" trace event ends the
+// victim's open move where it stood (the traveled prefix enters the
+// crossing sweep, matching the engine's end-of-move accounting), the
+// victim must stay silent for the rest of the trace, and the terminal
+// predicate splits into FinalCV (all robots) and SurvivorCV (mutual
+// visibility among survivors only, with the halted robots still
+// obstructing — the predicate a crash run's Reached refers to).
+//
 // cmd/visreplay -verify drives it; the test suite asserts
 // engine/auditor agreement across algorithms and schedulers.
 package verify
@@ -35,9 +43,18 @@ type Report struct {
 	PathCrossings int
 	// PaletteViolations counts colors outside the declared palette.
 	PaletteViolations int
+	// Crashes counts crash events; Crashed lists the halted robots in
+	// ascending index order.
+	Crashes int
+	Crashed []int
 	// FinalCV reports the exact Complete Visibility predicate on the
-	// reconstructed final configuration.
+	// reconstructed final configuration, all robots included.
 	FinalCV bool
+	// SurvivorCV reports mutual visibility among the robots alive at the
+	// end of the trace, with crashed robots still obstructing; equal to
+	// FinalCV when nothing crashed. For a crash run this — not FinalCV —
+	// is the predicate the engine's Reached refers to.
+	SurvivorCV bool
 	// Problems lists human-readable descriptions of everything found
 	// (capped at 100 entries).
 	Problems []string
@@ -92,10 +109,18 @@ func Audit(start []geom.Point, palette []model.Color, res sim.Result) (*Report, 
 	// for the concurrency sweep.
 	open := make([]*move, n)
 	var done []move
+	crashed := make([]bool, n)
 
-	flush := func(r int, event int) {
+	// flush closes robot r's open move. Its endEvent is already the
+	// event of the last executed sub-step — the moment the executed
+	// segment stopped growing — and is deliberately NOT advanced to the
+	// flush point (the robot's next Look, its crash, or the end of the
+	// trace): between the last sub-step and the flush the robot changed
+	// nothing, so no later motion can have been concurrent with this
+	// move. Stamping the flush event here would widen the concurrency
+	// span and over-count crossings relative to the engine.
+	flush := func(r int) {
 		if open[r] != nil {
-			open[r].endEvent = event
 			done = append(done, *open[r])
 			open[r] = nil
 		}
@@ -103,10 +128,26 @@ func Audit(start []geom.Point, palette []model.Color, res sim.Result) (*Report, 
 
 	for _, e := range res.Trace {
 		rep.Events++
+		if e.Robot < 0 || e.Robot >= n {
+			return nil, fmt.Errorf("verify: event %d names robot %d of %d", e.Event, e.Robot, n)
+		}
+		if crashed[e.Robot] {
+			// A halted robot is dead forever — any later event under its
+			// name means the engine kept scheduling a crashed robot.
+			return nil, fmt.Errorf("verify: event %d: robot %d acted (%s) after crashing",
+				e.Event, e.Robot, e.Kind)
+		}
 		p := geom.Pt(e.Pos.X, e.Pos.Y)
 		switch e.Kind {
+		case "crash":
+			// The victim halts where it stands: its in-flight move, if
+			// any, ends as the traveled prefix — the same truncated
+			// segment the engine feeds its end-of-move crossing check.
+			flush(e.Robot)
+			crashed[e.Robot] = true
+			rep.Crashes++
 		case "look":
-			flush(e.Robot, e.Event)
+			flush(e.Robot)
 			lastLook[e.Robot] = e.Event
 		case "compute":
 			if !allowed[e.Color] {
@@ -150,13 +191,37 @@ func Audit(start []geom.Point, palette []model.Color, res sim.Result) (*Report, 
 			return nil, fmt.Errorf("verify: unknown trace event kind %q", e.Kind)
 		}
 	}
-	lastEvent := res.Trace[len(res.Trace)-1].Event
 	for r := range open {
-		flush(r, lastEvent)
+		flush(r)
 	}
 
 	rep.PathCrossings = crossingSweep(done, rep)
 	rep.FinalCV = exact.CompleteVisibilityHybrid(pos)
+	rep.SurvivorCV = rep.FinalCV
+	if rep.Crashes > 0 {
+		alive := make([]bool, n)
+		for i := range alive {
+			alive[i] = !crashed[i]
+			if crashed[i] {
+				rep.Crashed = append(rep.Crashed, i)
+			}
+		}
+		rep.SurvivorCV = exact.CompleteVisibilityAmong(pos, alive)
+	}
+
+	// Cross-check the derived crashed set against the engine's (both in
+	// ascending index order — the engine sorts at finish, the auditor
+	// collects by index).
+	if len(rep.Crashed) != len(res.Crashed) {
+		return nil, fmt.Errorf("verify: trace shows %d crashes %v, engine recorded %v",
+			len(rep.Crashed), rep.Crashed, res.Crashed)
+	}
+	for i, r := range rep.Crashed {
+		if r != res.Crashed[i] {
+			return nil, fmt.Errorf("verify: crashed set mismatch: trace %v, engine %v",
+				rep.Crashed, res.Crashed)
+		}
+	}
 
 	// Cross-check the reconstructed final configuration against the
 	// engine's.

@@ -7,6 +7,7 @@ import (
 	"luxvis/internal/circlevis"
 	"luxvis/internal/config"
 	"luxvis/internal/core"
+	"luxvis/internal/geom"
 	"luxvis/internal/model"
 	"luxvis/internal/sched"
 	"luxvis/internal/sim"
@@ -112,6 +113,152 @@ func TestAuditorFlagsPalette(t *testing.T) {
 	}
 	if rep.PaletteViolations == 0 {
 		t.Error("auditor missed the undeclared color")
+	}
+}
+
+// stayPut never moves: crash-fault geometry tests need final positions
+// that equal the start configuration.
+type stayPut struct{}
+
+func (stayPut) Name() string           { return "stay-put" }
+func (stayPut) Palette() []model.Color { return []model.Color{model.Off} }
+func (stayPut) Compute(s model.Snapshot) model.Action {
+	return model.Stay(s.Self.Pos, model.Off)
+}
+
+// TestAuditorSurvivorCVSplit pins the two terminal predicates apart: a
+// survivor triangle is mutually visible (SurvivorCV true, and the
+// engine agrees by reporting Reached), while the crashed trio parked on
+// a line keeps full Complete Visibility false (FinalCV false). The
+// crashed-set cross-check runs implicitly — Audit errors on mismatch.
+func TestAuditorSurvivorCVSplit(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(2, 3), // survivors: a triangle
+		geom.Pt(10, 0), geom.Pt(12, 0), geom.Pt(14, 0), // crashed: collinear
+	}
+	opt := sim.DefaultOptions(sched.NewFSync(), 3)
+	opt.RecordTrace = true
+	opt.MaxEpochs = 64
+	opt.Crashes = []sim.CrashSpec{
+		{Robot: 3, AtEvent: 0, Stage: sched.Idle},
+		{Robot: 4, AtEvent: 0, Stage: sched.Idle},
+		{Robot: 5, AtEvent: 0, Stage: sched.Idle},
+	}
+	res, err := sim.Run(stayPut{}, pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("engine did not reach survivor-CV: %+v", res)
+	}
+	rep, err := verify.Audit(pts, stayPut{}.Palette(), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes != 3 {
+		t.Errorf("auditor counted %d crashes, want 3", rep.Crashes)
+	}
+	if !rep.SurvivorCV {
+		t.Error("auditor rejects survivor-CV the engine reached")
+	}
+	if rep.FinalCV {
+		t.Error("auditor granted full CV despite the collinear crashed trio")
+	}
+}
+
+// TestAuditorCrashMidMoveParity drives the paper algorithm into a
+// mid-flight crash under a multi-sub-step scheduler and requires the
+// auditor to agree with the engine on every count — in particular the
+// crossing sweep, which must see the victim's traveled prefix exactly
+// as the engine's end-of-move check did, not the planned path.
+func TestAuditorCrashMidMoveParity(t *testing.T) {
+	for _, seed := range []int64{3, 11, 29} {
+		pts := config.Generate(config.Uniform, 16, seed)
+		s := sched.NewAsyncRoundRobin()
+		s.SubSteps = 4
+		opt := sim.DefaultOptions(s, seed)
+		opt.RecordTrace = true
+		opt.MaxEpochs = 512
+		opt.Crashes = []sim.CrashSpec{
+			{Robot: 2, AtEvent: 40, Stage: sched.Moving},
+			{Robot: 9, AtEvent: 200, Stage: sched.Looked},
+		}
+		res, err := sim.Run(core.NewLogVis(), pts, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := verify.Audit(pts, core.NewLogVis().Palette(), res)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got, want := rep.Colocations+rep.PassThroughs, res.Collisions; got != want {
+			t.Errorf("seed %d: auditor collisions %d, engine %d", seed, got, want)
+		}
+		if got, want := rep.PathCrossings, res.PathCrossings; got != want {
+			t.Errorf("seed %d: auditor crossings %d, engine %d\n%v", seed, got, want, rep.Problems)
+		}
+		if len(rep.Crashed) != len(res.Crashed) {
+			t.Errorf("seed %d: auditor crashed %v, engine %v", seed, rep.Crashed, res.Crashed)
+		}
+		if res.Reached && !rep.SurvivorCV {
+			t.Errorf("seed %d: engine reached but auditor's survivor-CV fails", seed)
+		}
+	}
+}
+
+// TestCrossingSpanParityRegression pins cells that exposed a real
+// auditor bug (found by the R1 robustness matrix): the auditor used to
+// stamp a move's endEvent with the event that *flushed* it — the
+// robot's next Look, its crash, or the end of the trace — instead of
+// the move's last executed sub-step. The widened span declared pairs
+// concurrent that the engine (correctly) saw as sequential, and the
+// auditor over-counted crossings on exactly these seeds. Both sides now
+// end a move at its final sub-step; the counts must agree.
+func TestCrossingSpanParityRegression(t *testing.T) {
+	for _, seed := range []int64{2, 3} {
+		pts := config.Generate(config.Uniform, 24, seed)
+		opt := sim.DefaultOptions(sched.NewAsyncRandom(), seed)
+		opt.RecordTrace = true
+		res, err := sim.Run(core.NewLogVis(), pts, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PathCrossings == 0 {
+			t.Fatalf("seed %d: expected a nonzero crossing residual for this regression cell", seed)
+		}
+		rep, err := verify.Audit(pts, core.NewLogVis().Palette(), res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.PathCrossings != res.PathCrossings {
+			t.Errorf("seed %d: auditor crossings %d, engine %d\n%v",
+				seed, rep.PathCrossings, res.PathCrossings, rep.Problems)
+		}
+	}
+}
+
+// TestAuditorRejectsPostCrashActivity tampers with a genuine crash
+// trace: any event under a crashed robot's name must be rejected — that
+// is the auditor catching an engine that kept scheduling a dead robot.
+func TestAuditorRejectsPostCrashActivity(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(2, 3), geom.Pt(6, 6)}
+	opt := sim.DefaultOptions(sched.NewFSync(), 2)
+	opt.RecordTrace = true
+	opt.MaxEpochs = 32
+	opt.Crashes = []sim.CrashSpec{{Robot: 1, AtEvent: 0, Stage: sched.Idle}}
+	res, err := sim.Run(stayPut{}, pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.Audit(pts, stayPut{}.Palette(), res); err != nil {
+		t.Fatalf("clean crash trace rejected: %v", err)
+	}
+	last := res.Trace[len(res.Trace)-1]
+	res.Trace = append(res.Trace, sim.TraceEvent{
+		Event: last.Event + 1, Robot: 1, Kind: "look", Pos: pts[1],
+	})
+	if _, err := verify.Audit(pts, stayPut{}.Palette(), res); err == nil {
+		t.Error("auditor accepted a look by a crashed robot")
 	}
 }
 
