@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint lint-clean vet race bench-smoke fuzz-smoke scenarios bench-visibility check
+.PHONY: build test lint lint-clean vet race bench-smoke fuzz-smoke scenarios bench-visibility bench-stream stream-soak check
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,10 @@ vet:
 	$(GO) vet ./...
 
 ## race: the concurrent runtime (one goroutine per robot), the engine,
-## the HTTP service, the observability layer and the parallel visibility
-## kernel under the race detector.
+## the HTTP service, the observability layer, the stream hub and the
+## parallel visibility kernel under the race detector.
 race:
-	$(GO) test -race ./internal/rt/... ./internal/sim/... ./internal/serve/... ./internal/obs/... ./internal/geom/...
+	$(GO) test -race ./internal/rt/... ./internal/sim/... ./internal/serve/... ./internal/obs/... ./internal/stream/... ./internal/geom/...
 
 ## bench-smoke: every benchmark compiles and completes one iteration
 ## (catches drift between the experiment harness and bench_test.go).
@@ -61,6 +61,17 @@ scenarios:
 ## commit the refreshed BENCH_visibility.json with perf-relevant changes.
 bench-visibility:
 	$(GO) run ./cmd/visbench -bench-visibility BENCH_visibility.json
+
+## bench-stream: regenerate the stream fan-out benchmark baseline
+## (engine overhead at 1/64/1024/4096 subscribers, with drop counts).
+## Commit the refreshed BENCH_stream.json with streaming-path changes.
+bench-stream:
+	$(GO) run ./cmd/visbench -bench-stream BENCH_stream.json
+
+## stream-soak: the CI soak — hundreds of concurrent SSE subscribers on
+## one hot run under the race detector, with a goroutine-leak bound.
+stream-soak:
+	$(GO) test ./internal/serve -race -count=1 -run '^TestStreamSoak$$' -v
 
 ## check: everything a PR must pass, in fail-fast order.
 check: build vet lint test race bench-smoke fuzz-smoke scenarios

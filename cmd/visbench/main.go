@@ -30,6 +30,7 @@ func main() {
 		svgDir     = flag.String("svg", "", "also write SVG figures (T1, F1, F3) into this directory")
 		visBench   = flag.String("bench-visibility", "", "measure the visibility kernel against the per-Look baseline, write the JSON report to this path ('-' = stdout), and exit")
 		visWorkers = flag.Int("kernel-workers", 0, "worker count for the bench-visibility parallel kernel column (0 = numCPU)")
+		strBench   = flag.String("bench-stream", "", "measure stream-hub fan-out overhead on the hot engine path, write the JSON report to this path ('-' = stdout), and exit")
 		showVer    = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
@@ -50,6 +51,23 @@ func main() {
 		}
 		if err := runVisibilityBench(out, *visWorkers); err != nil {
 			fmt.Fprintf(os.Stderr, "visbench: bench-visibility: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *strBench != "" {
+		out := os.Stdout
+		if *strBench != "-" {
+			f, err := os.Create(*strBench)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "visbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := runStreamBench(out); err != nil {
+			fmt.Fprintf(os.Stderr, "visbench: bench-stream: %v\n", err)
 			os.Exit(1)
 		}
 		return

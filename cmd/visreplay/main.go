@@ -10,11 +10,18 @@
 //	visreplay -in run.jsonl
 //	visreplay -in run.jsonl -svg replay.svg
 //	visreplay -in run.jsonl -verify      # independent safety audit
+//	curl -N localhost:8080/v1/runs/r1/stream | visreplay -in -
+//
+// With -in - the trace is read from stdin, one event at a time with
+// bounded memory (unless -verify or -svg needs the whole stream), so a
+// live visserve stream pipes straight in. Records of unknown kinds —
+// epoch marks and other stream annotations — are skipped, not errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -32,7 +39,7 @@ import (
 
 func main() {
 	var (
-		inPath  = flag.String("in", "", "JSONL trace file (required)")
+		inPath  = flag.String("in", "", "JSONL trace file, or - for stdin (required)")
 		svgPath = flag.String("svg", "", "render the replayed trajectories to this SVG file")
 		doAudit = flag.Bool("verify", false, "re-derive all safety verdicts from the trace with the independent auditor")
 		width   = flag.Float64("w", 720, "viewport width")
@@ -49,15 +56,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*inPath)
+	var in io.Reader
+	if *inPath == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	// Stream the trace one event at a time: validation, path
+	// reconstruction and the summary all work incrementally, so a file of
+	// any size (or a live stream on stdin) replays in bounded memory. The
+	// full event list is only materialized when the audit needs it.
+	dec, err := trace.NewDecoder(in)
 	if err != nil {
 		fail(err)
 	}
-	defer f.Close()
-	header, events, err := trace.ReadJSONL(f)
-	if err != nil {
-		fail(err)
-	}
+	header := dec.Header()
 
 	fmt.Printf("trace: %s under %s, n=%d seed=%d epochs=%d events=%d reached=%v\n",
 		header.Algorithm, header.Scheduler, header.N, header.Seed,
@@ -67,8 +85,25 @@ func main() {
 	paths := make(map[int][]geom.Point)
 	steps := make(map[int]int)
 	looks := make(map[int]int)
+	var events []trace.Event
+	keepEvents := *doAudit
 	lastEvent := -1
-	for i, e := range events {
+	skipped := 0
+	for i := 0; ; i++ {
+		e, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail(err)
+		}
+		// Streams carry annotations beyond engine events — epoch marks
+		// from the stream hub, for one. They are not robot events; skip
+		// them rather than tripping the ordering and range checks.
+		if !engineEventKind(e.Kind) {
+			skipped++
+			continue
+		}
 		if e.Event < lastEvent {
 			fail(fmt.Errorf("event %d out of order (%d after %d)", i, e.Event, lastEvent))
 		}
@@ -90,6 +125,12 @@ func main() {
 				paths[e.Robot] = append(paths[e.Robot], p)
 			}
 		}
+		if keepEvents {
+			events = append(events, e)
+		}
+	}
+	if skipped > 0 {
+		fmt.Printf("skipped %d non-event records (stream annotations)\n", skipped)
 	}
 
 	// Per-robot summary, ordered by distance travelled.
@@ -145,6 +186,17 @@ func main() {
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "visreplay: %v\n", err)
 	os.Exit(1)
+}
+
+// engineEventKind reports whether kind is one of the engine's per-robot
+// trace events, as opposed to a stream annotation (epoch marks, end
+// notes) that carries no robot state.
+func engineEventKind(kind string) bool {
+	switch kind {
+	case "look", "compute", "step", "crash":
+		return true
+	}
+	return false
 }
 
 // runAudit rebuilds a sim.Result from the serialized trace and runs the

@@ -37,14 +37,19 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "simulation workers (0 = NumCPU)")
-		queue     = flag.Int("queue", 0, "job queue depth before shedding 429s (0 = default)")
-		cache     = flag.Int("cache", 0, "LRU result-cache entries (0 = default)")
-		timeout   = flag.Duration("timeout", 0, "default per-job deadline (0 = 2m)")
-		maxN      = flag.Int("max-n", 0, "largest accepted swarm size (0 = default)")
-		debugAddr = flag.String("debug-addr", "", "optional operator listener for pprof and /debug/runs (e.g. 127.0.0.1:6060)")
-		showVer   = flag.Bool("version", false, "print build version and exit")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "simulation workers (0 = NumCPU)")
+		queue      = flag.Int("queue", 0, "job queue depth before shedding 429s (0 = default)")
+		cache      = flag.Int("cache", 0, "LRU result-cache entries (0 = default)")
+		timeout    = flag.Duration("timeout", 0, "default per-job deadline (0 = 2m)")
+		maxN       = flag.Int("max-n", 0, "largest accepted swarm size (0 = default)")
+		debugAddr  = flag.String("debug-addr", "", "optional operator listener for pprof and /debug/runs (e.g. 127.0.0.1:6060)")
+		traceDir   = flag.String("trace-dir", "", "serve stored trace files under this directory at /v1/replay/{name}")
+		streamHist = flag.Int("stream-history", 0,
+			"per-run stream resume-ring frames (0 = default)")
+		streamRetain = flag.Int("stream-retain", 0,
+			"finished streamable runs kept for replay (0 = default)")
+		showVer = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
 	if *showVer {
@@ -58,6 +63,9 @@ func main() {
 		CacheSize:      *cache,
 		DefaultTimeout: *timeout,
 		MaxN:           *maxN,
+		StreamHistory:  *streamHist,
+		StreamRetain:   *streamRetain,
+		TraceDir:       *traceDir,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a full Prometheus text exposition (format
+// 0.0.4) against the line grammar and the family discipline this
+// package's TextWriter promises:
+//
+//   - every line is a HELP comment, a TYPE comment, a sample, or blank;
+//   - each family declares HELP immediately followed by TYPE, once;
+//   - every sample belongs to a declared family (histogram samples to
+//     their family's _bucket/_sum/_count series);
+//   - metric and label names match the Prometheus charset, label values
+//     are properly quoted and escaped, and sample values parse;
+//   - each histogram has a terminal le="+Inf" bucket whose count equals
+//     its _count, and its cumulative bucket counts are monotone.
+//
+// It exists so the /metrics surface can be golden-tested structurally:
+// instead of pinning bytes that change with every new family, tests
+// assert that whatever is exposed is well-formed.
+func ValidateExposition(text string) error {
+	v := &expoValidator{
+		types:   make(map[string]string),
+		helped:  make(map[string]bool),
+		sampled: make(map[string]bool),
+		hists:   make(map[string]*histCheck),
+	}
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		// A single trailing newline leaves one empty final element.
+		if line == "" {
+			if i != len(lines)-1 {
+				return fmt.Errorf("line %d: blank line inside the exposition", i+1)
+			}
+			continue
+		}
+		if err := v.line(line); err != nil {
+			return fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	if v.pendingHelp != "" {
+		return fmt.Errorf("family %s: HELP without a following TYPE", v.pendingHelp)
+	}
+	for name, typ := range v.types {
+		if !v.sampled[name] {
+			return fmt.Errorf("family %s: declared %s but no samples", name, typ)
+		}
+	}
+	for name, h := range v.hists {
+		if err := h.check(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// histCheck accumulates one histogram family's series for the
+// cross-sample invariants.
+type histCheck struct {
+	buckets  []float64 // cumulative counts in exposition order
+	infCount float64
+	hasInf   bool
+	count    float64
+	hasCount bool
+	sum      bool
+}
+
+func (h *histCheck) check(name string) error {
+	if !h.hasInf {
+		return fmt.Errorf("histogram %s: no le=\"+Inf\" bucket", name)
+	}
+	if !h.hasCount || !h.sum {
+		return fmt.Errorf("histogram %s: missing _sum or _count", name)
+	}
+	//lint:allow floateq exposition counts are exact integers on the wire; bit-exact equality is the invariant being validated
+	if h.infCount != h.count {
+		return fmt.Errorf("histogram %s: +Inf bucket %g != _count %g", name, h.infCount, h.count)
+	}
+	prev := math.Inf(-1)
+	for i, c := range h.buckets {
+		if c < prev {
+			return fmt.Errorf("histogram %s: bucket %d count %g below previous %g (not cumulative)", name, i, c, prev)
+		}
+		prev = c
+	}
+	return nil
+}
+
+type expoValidator struct {
+	types   map[string]string // family -> declared type
+	helped  map[string]bool
+	sampled map[string]bool
+	hists   map[string]*histCheck
+	// pendingHelp is a family whose HELP was seen but whose TYPE has not
+	// arrived yet — the writer always pairs them immediately.
+	pendingHelp string
+}
+
+func (v *expoValidator) line(line string) error {
+	if strings.HasPrefix(line, "#") {
+		return v.comment(line)
+	}
+	return v.sample(line)
+}
+
+func (v *expoValidator) comment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	name := fields[2]
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("bad metric name %q", name)
+	}
+	switch fields[1] {
+	case "HELP":
+		if v.pendingHelp != "" {
+			return fmt.Errorf("family %s: HELP without a following TYPE", v.pendingHelp)
+		}
+		if v.helped[name] {
+			return fmt.Errorf("family %s: HELP declared twice", name)
+		}
+		v.helped[name] = true
+		v.pendingHelp = name
+		return nil
+	case "TYPE":
+		if v.pendingHelp != name {
+			return fmt.Errorf("family %s: TYPE not immediately preceded by its HELP", name)
+		}
+		v.pendingHelp = ""
+		if len(fields) != 4 {
+			return fmt.Errorf("family %s: TYPE missing the type", name)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("family %s: unknown type %q", name, fields[3])
+		}
+		if _, dup := v.types[name]; dup {
+			return fmt.Errorf("family %s: TYPE declared twice", name)
+		}
+		v.types[name] = fields[3]
+		return nil
+	default:
+		return fmt.Errorf("unknown comment keyword %q", fields[1])
+	}
+}
+
+// sample parses one `name{labels} value` line and records it against
+// its declared family.
+func (v *expoValidator) sample(line string) error {
+	if v.pendingHelp != "" {
+		return fmt.Errorf("family %s: sample before its TYPE", v.pendingHelp)
+	}
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return fmt.Errorf("malformed sample %q", line)
+	}
+	name := rest[:end]
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("bad metric name %q", name)
+	}
+	rest = rest[end:]
+
+	labels := map[string]string{}
+	if rest[0] == '{' {
+		var err error
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return fmt.Errorf("sample %s: %w", name, err)
+		}
+	}
+	if len(rest) == 0 || rest[0] != ' ' {
+		return fmt.Errorf("sample %s: missing value separator", name)
+	}
+	valStr := strings.TrimPrefix(rest, " ")
+	if strings.ContainsRune(valStr, ' ') {
+		// A second field would be a timestamp; the writer never emits one.
+		return fmt.Errorf("sample %s: unexpected trailing fields %q", name, valStr)
+	}
+	val, err := parseSampleValue(valStr)
+	if err != nil {
+		return fmt.Errorf("sample %s: %w", name, err)
+	}
+
+	family, series := v.familyOf(name)
+	typ, ok := v.types[family]
+	if !ok {
+		return fmt.Errorf("sample %s: no HELP/TYPE declaration for family %s", name, family)
+	}
+	v.sampled[family] = true
+	if typ == "histogram" {
+		// One family can carry many label sets (per-endpoint latency);
+		// the bucket invariants hold within a label set, not across them.
+		key := family + histGroupKey(labels)
+		h := v.hists[key]
+		if h == nil {
+			h = &histCheck{}
+			v.hists[key] = h
+		}
+		switch series {
+		case "_bucket":
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", family)
+			}
+			if le == "+Inf" {
+				h.infCount, h.hasInf = val, true
+			} else {
+				if _, err := strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("histogram %s: bad le=%q", family, le)
+				}
+				h.buckets = append(h.buckets, val)
+			}
+		case "_sum":
+			h.sum = true
+		case "_count":
+			h.count, h.hasCount = val, true
+		default:
+			return fmt.Errorf("histogram %s: bare sample %s (want _bucket/_sum/_count)", family, name)
+		}
+	} else if series != "" {
+		return fmt.Errorf("sample %s: suffix series on non-histogram family %s", name, family)
+	}
+	return nil
+}
+
+// histGroupKey fingerprints a sample's labels minus the per-bucket le,
+// so every series of one histogram label set lands in one histCheck.
+func histGroupKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString("|")
+		sb.WriteString(k)
+		sb.WriteString("=")
+		sb.WriteString(labels[k])
+	}
+	return sb.String()
+}
+
+// familyOf resolves a sample name to its declared family: itself, or
+// for histogram series the name minus its _bucket/_sum/_count suffix —
+// whichever has a declaration.
+func (v *expoValidator) familyOf(name string) (family, series string) {
+	if _, ok := v.types[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, found := strings.CutSuffix(name, suf); found {
+			if _, ok := v.types[base]; ok {
+				return base, suf
+			}
+		}
+	}
+	return name, ""
+}
+
+// parseLabels consumes a {name="value",...} block, validating names and
+// escape sequences, and returns the remainder of the line.
+func parseLabels(s string) (map[string]string, string, error) {
+	out := map[string]string{}
+	s = s[1:] // consume '{'
+	for {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label block missing '='")
+		}
+		lname := s[:eq]
+		if !labelNameRe.MatchString(lname) {
+			return nil, "", fmt.Errorf("bad label name %q", lname)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, "", fmt.Errorf("label %s: value not quoted", lname)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, "", fmt.Errorf("label %s: dangling escape", lname)
+				}
+				i++
+				switch s[i] {
+				case '\\', '"':
+					val.WriteByte(s[i])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: bad escape \\%c", lname, s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, "", fmt.Errorf("label %s: unterminated value", lname)
+		}
+		if _, dup := out[lname]; dup {
+			return nil, "", fmt.Errorf("label %s: duplicated", lname)
+		}
+		out[lname] = val.String()
+		if len(s) > 0 && s[0] == ',' {
+			s = s[1:]
+			continue
+		}
+		if len(s) > 0 && s[0] == '}' {
+			return out, s[1:], nil
+		}
+		return nil, "", fmt.Errorf("label block: expected ',' or '}'")
+	}
+}
+
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}

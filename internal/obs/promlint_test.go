@@ -1,0 +1,142 @@
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"luxvis/internal/obs"
+)
+
+// TestValidateExpositionAcceptsTextWriter: whatever the package's own
+// writer emits — counters, labeled gauges, multi-label-set histograms —
+// must validate. This is the structural golden test for the /metrics
+// surface.
+func TestValidateExpositionAcceptsTextWriter(t *testing.T) {
+	var sb strings.Builder
+	pw := obs.NewTextWriter(&sb)
+	pw.Counter("luxvis_frames_total", "Frames published.", 12345)
+	pw.Gauge("luxvis_build_info", "Build identity; the value is always 1.", 1,
+		obs.Label{Name: "version", Value: `luxvis (devel) rev "quoted"\slash`},
+		obs.Label{Name: "go_version", Value: "go1.24.0"})
+	h := obs.NewHistogram(1, 5, 25)
+	for _, v := range []float64{0.5, 2, 3, 30} {
+		h.Observe(v)
+	}
+	pw.Histogram("luxvis_latency_ms", "Latency.", h.Snapshot(),
+		obs.Label{Name: "endpoint", Value: "/v1/run"})
+	pw.Histogram("luxvis_latency_ms", "Latency.", h.Snapshot(),
+		obs.Label{Name: "endpoint", Value: "/v1/experiment"})
+	if err := pw.Err(); err != nil {
+		t.Fatalf("TextWriter: %v", err)
+	}
+	if err := obs.ValidateExposition(sb.String()); err != nil {
+		t.Fatalf("writer output failed validation: %v\n%s", err, sb.String())
+	}
+}
+
+// TestValidateExpositionRejects pins the failure modes: each malformed
+// exposition must be caught, with the grammar or pairing rule named.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{
+			name: "sample without declaration",
+			text: "orphan_total 1\n",
+			want: "no HELP/TYPE",
+		},
+		{
+			name: "TYPE without preceding HELP",
+			text: "# TYPE a_total counter\na_total 1\n",
+			want: "not immediately preceded",
+		},
+		{
+			name: "HELP without TYPE",
+			text: "# HELP a_total help text\na_total 1\n",
+			want: "sample before its TYPE",
+		},
+		{
+			name: "HELP then mismatched TYPE",
+			text: "# HELP a_total x\n# TYPE b_total counter\n",
+			want: "not immediately preceded",
+		},
+		{
+			name: "unknown type",
+			text: "# HELP a_total x\n# TYPE a_total countish\na_total 1\n",
+			want: "unknown type",
+		},
+		{
+			name: "duplicate family",
+			text: "# HELP a_total x\n# TYPE a_total counter\na_total 1\n# HELP a_total x\n# TYPE a_total counter\n",
+			want: "HELP declared twice",
+		},
+		{
+			name: "declared but never sampled",
+			text: "# HELP a_total x\n# TYPE a_total counter\n",
+			want: "no samples",
+		},
+		{
+			name: "bad metric name",
+			text: "# HELP 9bad x\n# TYPE 9bad counter\n9bad 1\n",
+			want: "bad metric name",
+		},
+		{
+			name: "bad label name",
+			text: "# HELP a x\n# TYPE a gauge\na{9l=\"v\"} 1\n",
+			want: "bad label name",
+		},
+		{
+			name: "unterminated label value",
+			text: "# HELP a x\n# TYPE a gauge\na{l=\"v} 1\n",
+			want: "unterminated",
+		},
+		{
+			name: "bad escape",
+			text: "# HELP a x\n# TYPE a gauge\na{l=\"v\\t\"} 1\n",
+			want: "bad escape",
+		},
+		{
+			name: "bad sample value",
+			text: "# HELP a x\n# TYPE a gauge\na twelve\n",
+			want: "bad sample value",
+		},
+		{
+			name: "blank line inside",
+			text: "# HELP a x\n# TYPE a gauge\n\na 1\n",
+			want: "blank line",
+		},
+		{
+			name: "histogram without +Inf",
+			text: "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 3\nh_count 2\n",
+			want: "+Inf",
+		},
+		{
+			name: "histogram +Inf disagrees with count",
+			text: "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 3\nh_sum 3\nh_count 2\n",
+			want: "!= _count",
+		},
+		{
+			name: "histogram not cumulative",
+			text: "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 6\nh_sum 3\nh_count 6\n",
+			want: "not cumulative",
+		},
+		{
+			name: "suffix series on a gauge",
+			text: "# HELP g x\n# TYPE g gauge\ng 1\ng_count 1\n",
+			want: "suffix series on non-histogram",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := obs.ValidateExposition(tc.text)
+			if err == nil {
+				t.Fatalf("validation accepted malformed exposition:\n%s", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

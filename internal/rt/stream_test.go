@@ -1,0 +1,137 @@
+package rt
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"luxvis/internal/config"
+	"luxvis/internal/core"
+	"luxvis/internal/stream"
+	"luxvis/internal/trace"
+)
+
+// TestHubAttachedToConcurrentRuntime attaches a stream hub as the
+// Observer of the goroutine-per-robot runtime, where CycleEnd arrives
+// from n robot goroutines and EpochEnd from the monitor goroutine
+// concurrently. rt emits no per-event stream, so the hub runs with
+// EpochMarks on: the broadcast is header + epoch marks + end. The test
+// (run under -race in CI) pins the goroutine-safety contract on both
+// sides: concurrent callbacks never corrupt the hub, every subscriber
+// drains a well-formed, gap-free stream to io.EOF, and RunEnd closes
+// the stream exactly once.
+func TestHubAttachedToConcurrentRuntime(t *testing.T) {
+	var ctr stream.Counters
+	hub := stream.NewHub(stream.HubOptions{
+		EpochMarks: true,
+		Counters:   &ctr,
+		Note:       "rt live stream",
+	})
+	defer hub.Release()
+
+	const nSubs = 8
+	type drain struct {
+		frames []stream.Frame
+		err    error
+	}
+	results := make([]drain, nSubs)
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for i := 0; i < nSubs; i++ {
+		sub := hub.Subscribe(0)
+		wg.Add(1)
+		go func(i int, sub *stream.Subscriber) {
+			defer wg.Done()
+			defer sub.Close()
+			for {
+				f, err := sub.Next(ctx)
+				if err != nil {
+					results[i].err = err
+					return
+				}
+				results[i].frames = append(results[i].frames, f)
+			}
+		}(i, sub)
+	}
+
+	pts := config.Generate(config.Uniform, 10, 11)
+	res, err := Run(core.NewLogVis(), pts, Options{
+		Seed:      11,
+		MaxWall:   20 * time.Second,
+		MeanDelay: 50 * time.Microsecond,
+		Observer:  hub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatalf("run did not stabilize: %+v", res)
+	}
+	wg.Wait()
+
+	if !hub.Done() {
+		t.Fatal("hub not closed after RunEnd")
+	}
+	if hub.EndNote() == nil {
+		t.Fatal("no end note after RunEnd")
+	}
+	if info := hub.Info(); info.Scheduler != "rt-async" || info.N != 10 {
+		t.Errorf("hub header info = %+v", info)
+	}
+
+	for i := range results {
+		if !errors.Is(results[i].err, io.EOF) {
+			t.Fatalf("subscriber %d: drain ended with %v, want io.EOF", i, results[i].err)
+		}
+		frames := results[i].frames
+		// Subscribed before the run with default ring capacity and only
+		// epoch-granular frames to carry: nothing may be dropped.
+		if len(frames) != res.Epochs+1 {
+			t.Errorf("subscriber %d: %d frames, want header + %d epoch marks", i, len(frames), res.Epochs)
+		}
+		for j, f := range frames {
+			if f.Seq != uint64(j+1) {
+				t.Fatalf("subscriber %d: frame %d has seq %d, want %d", i, j, f.Seq, j+1)
+			}
+		}
+		if frames[0].Kind != "header" {
+			t.Fatalf("subscriber %d: first frame kind %q", i, frames[0].Kind)
+		}
+		var hdr trace.Header
+		if err := json.Unmarshal(frames[0].Data, &hdr); err != nil {
+			t.Fatalf("subscriber %d: header does not decode: %v", i, err)
+		}
+		if hdr.Scheduler != "rt-async" {
+			t.Errorf("subscriber %d: header scheduler %q", i, hdr.Scheduler)
+		}
+		prevEpoch := 0
+		for j, f := range frames[1:] {
+			if f.Kind != "epoch" {
+				t.Fatalf("subscriber %d: frame %d kind %q, want epoch", i, j+1, f.Kind)
+			}
+			var mark trace.EpochMark
+			if err := json.Unmarshal(f.Data, &mark); err != nil {
+				t.Fatalf("subscriber %d: epoch mark does not decode: %v", i, err)
+			}
+			if mark.Epoch != prevEpoch+1 {
+				t.Fatalf("subscriber %d: epoch mark %d after epoch %d", i, mark.Epoch, prevEpoch)
+			}
+			prevEpoch = mark.Epoch
+		}
+		if prevEpoch != res.Epochs {
+			t.Errorf("subscriber %d: last epoch mark %d, result has %d epochs", i, prevEpoch, res.Epochs)
+		}
+	}
+
+	snap := ctr.Snapshot()
+	if snap.DroppedTotal != 0 {
+		t.Errorf("dropped %d frames on an epoch-granular stream", snap.DroppedTotal)
+	}
+	if snap.FramesTotal != int64(res.Epochs+1) {
+		t.Errorf("frames published %d, want %d", snap.FramesTotal, res.Epochs+1)
+	}
+}

@@ -2,11 +2,13 @@ package serve
 
 import (
 	"net/http"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	"luxvis/internal/obs"
+	"luxvis/internal/version"
 )
 
 // wantsPrometheus reports whether the client negotiated the Prometheus
@@ -62,6 +64,13 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 	}
 
 	s.totals.WritePrometheus(pw, "luxvis_engine")
+	s.streamCtr.WritePrometheus(pw, "luxvis_stream")
+
+	// Build identity as a constant-1 info gauge, the Prometheus idiom
+	// for exposing labels rather than a measurement.
+	pw.Gauge("luxvis_build_info", "Build identity; the value is always 1.", 1,
+		obs.Label{Name: "version", Value: version.Short()},
+		obs.Label{Name: "go_version", Value: runtime.Version()})
 	if err := pw.Err(); err != nil {
 		// The response is already streaming; nothing useful to send.
 		return

@@ -39,6 +39,7 @@ import (
 	"luxvis/internal/obs"
 	"luxvis/internal/sched"
 	"luxvis/internal/sim"
+	"luxvis/internal/stream"
 	"luxvis/internal/version"
 )
 
@@ -59,6 +60,16 @@ type Options struct {
 	DefaultTimeout time.Duration
 	// MaxN rejects run requests above this swarm size (default 16384).
 	MaxN int
+	// StreamHistory is the per-run stream hub history-ring capacity:
+	// how far back Last-Event-ID resume (and finished-run replay) can
+	// reach (default stream.DefaultHistory).
+	StreamHistory int
+	// StreamRetain bounds how many finished streamable runs are kept
+	// for replay before the oldest is forgotten (default 64).
+	StreamRetain int
+	// TraceDir, when set, enables GET /v1/replay/{name}: stored trace
+	// files under this directory are served as timed streams.
+	TraceDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -77,6 +88,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxN <= 0 {
 		o.MaxN = 16384
 	}
+	if o.StreamRetain <= 0 {
+		o.StreamRetain = 64
+	}
 	return o
 }
 
@@ -90,7 +104,11 @@ type Server struct {
 	metrics *serverMetrics
 	totals  *obs.EngineTotals
 	runs    *runRegistry
-	started time.Time
+	streams *streamRegistry
+	// streamCtr aggregates hub/subscriber accounting across every
+	// streamable run — the luxvis_stream_* families.
+	streamCtr *stream.Counters
+	started   time.Time
 
 	mu sync.Mutex
 	// closed is guarded by mu: submissions and Close race on the queue
@@ -116,13 +134,15 @@ type job struct {
 func New(opt Options) *Server {
 	opt = opt.withDefaults()
 	s := &Server{
-		opt:     opt,
-		queue:   make(chan *job, opt.QueueDepth),
-		cache:   newLRU(opt.CacheSize),
-		metrics: newServerMetrics(),
-		totals:  obs.NewEngineTotals(),
-		runs:    newRunRegistry(),
-		started: time.Now(),
+		opt:       opt,
+		queue:     make(chan *job, opt.QueueDepth),
+		cache:     newLRU(opt.CacheSize),
+		metrics:   newServerMetrics(),
+		totals:    obs.NewEngineTotals(),
+		runs:      newRunRegistry(),
+		streams:   newStreamRegistry(opt.StreamRetain),
+		streamCtr: &stream.Counters{},
+		started:   time.Now(),
 	}
 	s.wg.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
@@ -205,6 +225,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/run", s.timed("/v1/run", s.handleRun))
 	mux.HandleFunc("/v1/experiment", s.timed("/v1/experiment", s.handleExperiment))
+	// Streaming surface: async runs fan out live over SSE/NDJSON and
+	// replay from retained history after they finish. The stream
+	// endpoints are not wrapped in timed(): a subscriber holds its
+	// connection for the run's lifetime, which would drown the latency
+	// histogram's request-scale buckets.
+	mux.HandleFunc("POST /v1/runs", s.timed("/v1/runs", s.handleRunsCreate))
+	mux.HandleFunc("GET /v1/runs", s.handleRunsList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleRunStatus)
+	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleRunStream)
+	mux.HandleFunc("GET /v1/replay/{name}", s.handleTraceReplay)
 	return mux
 }
 

@@ -153,6 +153,11 @@ type TraceEvent struct {
 	Kind  string // "look", "compute", "step", "crash"
 	Pos   geom.Point
 	Color model.Color
+	// Epoch is the number of epochs completed when the event fired
+	// (events during the first epoch carry 0). It gives trace consumers
+	// — the replay stream's ?from=epoch seek in particular — an exact
+	// epoch index without re-deriving boundaries from the event order.
+	Epoch int
 }
 
 // Result summarizes a run.
@@ -680,12 +685,12 @@ func (e *engine) noteChange() {
 // observer and no trace pays two predictable not-taken branches.
 func (e *engine) trace(r int, kind string) {
 	if e.obs != nil {
-		e.obs.Event(TraceEvent{Event: e.now, Robot: r, Kind: kind, Pos: e.pos[r], Color: e.col[r]})
+		e.obs.Event(TraceEvent{Event: e.now, Robot: r, Kind: kind, Pos: e.pos[r], Color: e.col[r], Epoch: e.epochs})
 	}
 	if !e.opt.RecordTrace {
 		return
 	}
 	e.res.Trace = append(e.res.Trace, TraceEvent{
-		Event: e.now, Robot: r, Kind: kind, Pos: e.pos[r], Color: e.col[r],
+		Event: e.now, Robot: r, Kind: kind, Pos: e.pos[r], Color: e.col[r], Epoch: e.epochs,
 	})
 }

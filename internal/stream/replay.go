@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"luxvis/internal/trace"
+)
+
+// Source yields stream frames in order: a live Subscriber, or a stored
+// trace opened with NewFileSource. Next returns io.EOF at a clean end of
+// stream.
+type Source interface {
+	Next(ctx context.Context) (Frame, error)
+}
+
+// fileSource adapts a stored JSONL trace to the Source interface,
+// assigning the same seq numbering a live hub would (header = 1), so a
+// resume cursor means the same thing against a file as against a hub.
+// Lines are forwarded byte-identical to the stored trace (Decoder.Raw),
+// never re-encoded.
+type fileSource struct {
+	dec     *trace.Decoder
+	nextSeq uint64
+	header  bool // header frame not yet emitted
+}
+
+// NewFileSource wraps a stored trace stream. The header is validated
+// eagerly (a bad file fails before any frame is served).
+func NewFileSource(r io.Reader) (Source, *trace.Decoder, error) {
+	dec, err := trace.NewDecoder(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &fileSource{dec: dec, nextSeq: 1, header: true}, dec, nil
+}
+
+func (f *fileSource) Next(ctx context.Context) (Frame, error) {
+	if f.header {
+		f.header = false
+		seq := f.nextSeq
+		f.nextSeq++
+		return Frame{Seq: seq, Kind: "header", Data: append([]byte(nil), f.dec.Raw()...)}, nil
+	}
+	ev, err := f.dec.Next()
+	if err != nil {
+		return Frame{}, err
+	}
+	seq := f.nextSeq
+	f.nextSeq++
+	return Frame{
+		Seq:   seq,
+		Kind:  ev.Kind,
+		Epoch: ev.Epoch,
+		Data:  append([]byte(nil), f.dec.Raw()...),
+	}, nil
+}
+
+// DefaultReplayEventsPerSec is the 1x replay pace: how many event frames
+// per second a Speed=1 replay emits. Traces carry no wall-clock
+// timestamps (the ASYNC model has no global clock), so replay time is
+// synthetic: a uniform event rate scaled by the speed multiplier.
+const DefaultReplayEventsPerSec = 256.0
+
+// ReplayOptions shapes one replayed (or pumped) stream.
+type ReplayOptions struct {
+	// Speed is the pace multiplier over DefaultReplayEventsPerSec.
+	// 0 (or negative) disables pacing: frames are emitted as fast as the
+	// source and sink allow — also the right setting for live sources,
+	// which are already paced by the run itself.
+	Speed float64
+	// FromEpoch skips event frames stamped with an earlier epoch. The
+	// header frame is always forwarded. Traces recorded before epoch
+	// stamps carry 0 on every event, so a positive FromEpoch skips them
+	// all — seeking needs a stamped trace.
+	FromEpoch int
+	// AfterSeq skips frames with Seq <= AfterSeq — the file-replay
+	// resume cursor. (Live resume is handled by Hub.Subscribe instead,
+	// which can also report the gap.)
+	AfterSeq uint64
+	// Sleep intercepts pacing waits; nil uses a real timer honoring ctx.
+	// Tests inject a fake to make pacing assertions deterministic.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Replay pumps src to emit, applying the pacing and filtering in opt.
+// It returns nil at a clean end of stream, the emit error if the sink
+// fails, or ctx.Err when cancelled. The emit callback owns flushing.
+func Replay(ctx context.Context, src Source, opt ReplayOptions, emit func(Frame) error) error {
+	sleep := opt.Sleep
+	if sleep == nil {
+		sleep = realSleep
+	}
+	var interval time.Duration
+	if opt.Speed > 0 {
+		interval = time.Duration(float64(time.Second) / (DefaultReplayEventsPerSec * opt.Speed))
+	}
+	for {
+		f, err := src.Next(ctx)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if f.Seq <= opt.AfterSeq {
+			continue
+		}
+		if f.Kind != "header" {
+			if f.Epoch < opt.FromEpoch {
+				continue
+			}
+			if interval > 0 {
+				if err := sleep(ctx, interval); err != nil {
+					return err
+				}
+			}
+		}
+		if err := emit(f); err != nil {
+			return err
+		}
+	}
+}
+
+// realSleep waits for d or until ctx is done.
+func realSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

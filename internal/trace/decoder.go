@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxLineBytes bounds one JSONL record line. A trace line is a few
+// hundred bytes; the bound exists so a corrupt or hostile stream cannot
+// make the decoder buffer without limit.
+const MaxLineBytes = 1 << 20
+
+// Decoder reads a JSONL trace stream one record at a time with bounded
+// memory: only the current line is ever held, so arbitrarily long
+// streams — live run streams included — can be consumed without
+// materializing the event slice ReadJSONL returns.
+//
+// NewDecoder consumes the header line eagerly; Next then yields one
+// event per call until io.EOF. Raw exposes the exact bytes of the last
+// record returned (without the newline), which lets relays — the replay
+// endpoint serving a stored trace — forward lines byte-identical to the
+// source instead of re-encoding them.
+type Decoder struct {
+	sc     *bufio.Scanner
+	header Header
+	raw    []byte
+}
+
+// NewDecoder reads the stream header from r and returns a decoder
+// positioned at the first event.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLineBytes)
+	d := &Decoder{sc: sc}
+	line, err := d.nextLine()
+	if err == io.EOF {
+		return nil, fmt.Errorf("trace: decoding header: %w", io.ErrUnexpectedEOF)
+	} else if err != nil {
+		return nil, fmt.Errorf("trace: decoding header: %w", err)
+	}
+	if err := json.Unmarshal(line, &d.header); err != nil {
+		return nil, fmt.Errorf("trace: decoding header: %w", err)
+	}
+	if d.header.Kind != "header" {
+		return nil, fmt.Errorf("trace: stream does not start with a header (kind %q)", d.header.Kind)
+	}
+	return d, nil
+}
+
+// Header returns the stream header read by NewDecoder.
+func (d *Decoder) Header() Header { return d.header }
+
+// Next returns the next record in the stream, io.EOF at the end, or a
+// decode error. Records of unknown kind (e.g. "epoch" marks) are
+// returned as-is with their Kind set; callers that only understand
+// engine events skip kinds they do not handle.
+func (d *Decoder) Next() (Event, error) {
+	line, err := d.nextLine()
+	if err != nil {
+		return Event{}, err
+	}
+	var e Event
+	if err := json.Unmarshal(line, &e); err != nil {
+		return Event{}, fmt.Errorf("trace: decoding event: %w", err)
+	}
+	return e, nil
+}
+
+// Raw returns the raw bytes of the last record returned by Next (or the
+// header, before the first Next), without a trailing newline. The slice
+// is only valid until the next Next call.
+func (d *Decoder) Raw() []byte { return d.raw }
+
+// nextLine advances to the next non-blank line, returning io.EOF at the
+// end of the stream.
+func (d *Decoder) nextLine() ([]byte, error) {
+	for d.sc.Scan() {
+		line := d.sc.Bytes()
+		if len(trimSpace(line)) == 0 {
+			continue
+		}
+		d.raw = line
+		return line, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// trimSpace strips ASCII whitespace without allocating (bytes.TrimSpace
+// covers Unicode, which JSONL framing never needs).
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}

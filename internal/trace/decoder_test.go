@@ -1,0 +1,153 @@
+package trace_test
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"luxvis/internal/geom"
+	"luxvis/internal/sim"
+	"luxvis/internal/trace"
+)
+
+func sampleResult() sim.Result {
+	return sim.Result{
+		Algorithm: "logvis", Scheduler: "fsync", N: 3, Seed: 9,
+		Epochs: 2, Events: 3, Reached: true,
+		Trace: []sim.TraceEvent{
+			{Event: 0, Robot: 0, Kind: "look", Pos: geom.Pt(1, 2)},
+			{Event: 1, Robot: 1, Kind: "compute", Pos: geom.Pt(3, 4), Epoch: 1},
+			{Event: 2, Robot: 2, Kind: "step", Pos: geom.Pt(5, 6), Epoch: 2},
+		},
+	}
+}
+
+// TestDecoderMatchesReadJSONL proves the streaming decoder and the
+// slice-materializing wrapper see the identical stream.
+func TestDecoderMatchesReadJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, sampleResult()); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	encoded := buf.Bytes()
+
+	h1, evs1, err := trace.ReadJSONL(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+
+	dec, err := trace.NewDecoder(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	if !reflect.DeepEqual(dec.Header(), h1) {
+		t.Fatalf("decoder header %+v != ReadJSONL header %+v", dec.Header(), h1)
+	}
+	var evs2 []trace.Event
+	for {
+		e, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		evs2 = append(evs2, e)
+	}
+	if len(evs1) != len(evs2) {
+		t.Fatalf("event count: ReadJSONL %d, Decoder %d", len(evs1), len(evs2))
+	}
+	for i := range evs1 {
+		if evs1[i] != evs2[i] {
+			t.Fatalf("event %d: ReadJSONL %+v, Decoder %+v", i, evs1[i], evs2[i])
+		}
+	}
+	if evs2[1].Epoch != 1 || evs2[2].Epoch != 2 {
+		t.Fatalf("epoch stamps lost in decode: %+v", evs2)
+	}
+}
+
+// TestDecoderRawForwardsBytes proves Raw yields the exact line bytes, so
+// relays can forward a stored trace byte-identical to the source.
+func TestDecoderRawForwardsBytes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, sampleResult()); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	wantLines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+
+	dec, err := trace.NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	got := []string{string(dec.Raw())} // header line
+	for {
+		if _, err := dec.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got = append(got, string(dec.Raw()))
+	}
+	if len(got) != len(wantLines) {
+		t.Fatalf("line count: got %d, want %d", len(got), len(wantLines))
+	}
+	for i := range got {
+		if got[i] != wantLines[i] {
+			t.Fatalf("line %d: got %q, want %q", i, got[i], wantLines[i])
+		}
+	}
+}
+
+// TestDecoderSkipsBlankAndUnknown: blank lines are framing noise, and
+// unknown kinds (epoch marks) decode as events with their Kind intact so
+// callers can skip them.
+func TestDecoderSkipsBlankAndUnknown(t *testing.T) {
+	in := `{"kind":"header","algorithm":"logvis","scheduler":"fsync","n":1,"seed":1,"epochs":1,"events":1,"reached":true}
+
+{"kind":"epoch","epoch":3,"cv":true}
+{"kind":"look","event":0,"robot":0,"x":1,"y":2,"color":"off"}
+`
+	dec, err := trace.NewDecoder(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	e1, err := dec.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if e1.Kind != "epoch" || e1.Epoch != 3 {
+		t.Fatalf("epoch mark decoded as %+v", e1)
+	}
+	e2, err := dec.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if e2.Kind != "look" || e2.Robot != 0 {
+		t.Fatalf("event decoded as %+v", e2)
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+// TestDecoderErrors pins the failure modes: empty stream, missing
+// header, corrupt line.
+func TestDecoderErrors(t *testing.T) {
+	if _, err := trace.NewDecoder(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream: want error")
+	}
+	if _, err := trace.NewDecoder(strings.NewReader(`{"kind":"look"}`)); err == nil {
+		t.Fatal("missing header: want error")
+	}
+	dec, err := trace.NewDecoder(strings.NewReader(
+		`{"kind":"header","algorithm":"a","scheduler":"s","n":1,"seed":1,"epochs":0,"events":0,"reached":false}` + "\nnot-json\n"))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	if _, err := dec.Next(); err == nil || err == io.EOF {
+		t.Fatalf("corrupt line: want decode error, got %v", err)
+	}
+}

@@ -46,6 +46,22 @@ type Event struct {
 	X     float64 `json:"x"`
 	Y     float64 `json:"y"`
 	Color string  `json:"color"`
+	// Epoch is the number of completed epochs when the event fired.
+	// Events in the first epoch carry 0 and omit the field, which keeps
+	// pre-epoch-stamp traces and new ones decoding identically.
+	Epoch int `json:"epoch,omitempty"`
+}
+
+// EpochMark is an optional epoch-boundary record in a JSONL stream. The
+// engine's RecordTrace output never contains marks (its event lines are
+// the canonical stream); live stream sources that have no per-event
+// stream — the concurrent runtime — emit marks so subscribers still see
+// progress. Consumers that only understand events skip unknown kinds.
+type EpochMark struct {
+	Kind  string `json:"kind"` // always "epoch"
+	Epoch int    `json:"epoch"`
+	// CV reports whether Complete Visibility held at the boundary.
+	CV bool `json:"cv"`
 }
 
 // HeaderOf builds the trace header for a completed run.
@@ -74,6 +90,7 @@ func ConvertEvents(evs []sim.TraceEvent) []Event {
 			X:     e.Pos.X,
 			Y:     e.Pos.Y,
 			Color: e.Color.String(),
+			Epoch: e.Epoch,
 		}
 	}
 	return out
@@ -105,26 +122,24 @@ func WriteJSONL(w io.Writer, res sim.Result) error {
 }
 
 // ReadJSONL parses a JSONL trace stream back into a header and events.
+// It materializes the whole event slice; callers that want bounded
+// memory (or the raw line bytes) should use Decoder directly.
 func ReadJSONL(r io.Reader) (Header, []Event, error) {
-	dec := json.NewDecoder(r)
-	var h Header
-	if err := dec.Decode(&h); err != nil {
-		return Header{}, nil, fmt.Errorf("trace: decoding header: %w", err)
-	}
-	if h.Kind != "header" {
-		return Header{}, nil, fmt.Errorf("trace: stream does not start with a header (kind %q)", h.Kind)
+	dec, err := NewDecoder(r)
+	if err != nil {
+		return Header{}, nil, err
 	}
 	var events []Event
 	for {
-		var e Event
-		if err := dec.Decode(&e); err == io.EOF {
+		e, err := dec.Next()
+		if err == io.EOF {
 			break
 		} else if err != nil {
-			return Header{}, nil, fmt.Errorf("trace: decoding event: %w", err)
+			return Header{}, nil, err
 		}
 		events = append(events, e)
 	}
-	return h, events, nil
+	return dec.Header(), events, nil
 }
 
 // WritePositionsCSV writes a configuration as a two-column CSV

@@ -31,10 +31,10 @@ func Revision() (rev string, dirty bool, ok bool) {
 	return rev, dirty, ok
 }
 
-// String renders the full build identity, e.g.
-// "luxvis (devel) rev 1a2b3c4d+dirty go1.22.1". Fields that the build
-// did not stamp are omitted.
-func String() string {
+// Short renders the build identity without the Go toolchain version,
+// e.g. "luxvis (devel) rev 1a2b3c4d+dirty" — for contexts (like the
+// build-info metric) where the toolchain is carried separately.
+func Short() string {
 	mod, ver := "luxvis", "(devel)"
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		if bi.Main.Path != "" {
@@ -55,5 +55,12 @@ func String() string {
 			s += "+dirty"
 		}
 	}
-	return s + " " + runtime.Version()
+	return s
+}
+
+// String renders the full build identity, e.g.
+// "luxvis (devel) rev 1a2b3c4d+dirty go1.22.1". Fields that the build
+// did not stamp are omitted.
+func String() string {
+	return Short() + " " + runtime.Version()
 }
