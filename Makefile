@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint lint-clean vet race bench-smoke fuzz-smoke scenarios bench-visibility bench-stream stream-soak check
+.PHONY: build test lint lint-clean vet race bench-smoke fuzz-smoke scenarios bench-visibility bench-stream bench-check stream-soak check
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,14 @@ bench-visibility:
 ## Commit the refreshed BENCH_stream.json with streaming-path changes.
 bench-stream:
 	$(GO) run ./cmd/visbench -bench-stream BENCH_stream.json
+
+## bench-check: the perf-regression gate — re-measure a CI-sized subset
+## and compare ratios (kernel speedup, stream overhead) against the
+## checked-in baselines within a tolerance. Skips (exit 0) when this
+## host's core count differs from the baseline's: wall-clock ratios
+## only transfer within a host shape. Exit 1 = regression.
+bench-check:
+	$(GO) run ./cmd/visbench -check-baseline
 
 ## stream-soak: the CI soak — hundreds of concurrent SSE subscribers on
 ## one hot run under the race detector, with a goroutine-leak bound.

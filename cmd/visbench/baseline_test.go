@@ -1,0 +1,124 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func visBaseline() *VisBenchReport {
+	return &VisBenchReport{
+		Sizes: []VisBenchRow{
+			{N: 64, SpeedupFull: 10.0},
+			{N: 256, SpeedupFull: 20.0},
+		},
+	}
+}
+
+func TestCompareVisibility(t *testing.T) {
+	cases := []struct {
+		name  string
+		fresh []VisBenchRow
+		want  []string // substrings; empty = no issues
+	}{
+		{
+			name:  "within tolerance",
+			fresh: []VisBenchRow{{N: 64, SpeedupFull: 9.0}, {N: 256, SpeedupFull: 14.0}},
+		},
+		{
+			name:  "faster than baseline is fine",
+			fresh: []VisBenchRow{{N: 64, SpeedupFull: 30.0}},
+		},
+		{
+			name:  "speedup collapse",
+			fresh: []VisBenchRow{{N: 64, SpeedupFull: 5.0}},
+			want:  []string{"n=64", "speedupFull 5.00x"},
+		},
+		{
+			name:  "allocation on the warm path",
+			fresh: []VisBenchRow{{N: 64, SpeedupFull: 10.0, KernelAllocsPass: 3}},
+			want:  []string{"3 allocs/pass", "zero-allocation"},
+		},
+		{
+			name: "size absent from baseline is ignored",
+			// Half the baseline's worst speedup, but no n=1024 row to
+			// compare against — not a verdict the gate can make.
+			fresh: []VisBenchRow{{N: 1024, SpeedupFull: 1.0}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			issues := compareVisibility(visBaseline(), tc.fresh, 0.35)
+			assertIssues(t, issues, tc.want)
+		})
+	}
+}
+
+func streamBaseline() *StreamBenchReport {
+	return &StreamBenchReport{
+		BaselineNs: 1_000_000,
+		Fanout: []StreamBenchRow{
+			{Subscribers: 1, EngineNs: 1_100_000},  // ratio 1.10
+			{Subscribers: 64, EngineNs: 1_500_000}, // ratio 1.50
+		},
+	}
+}
+
+func TestCompareStream(t *testing.T) {
+	cases := []struct {
+		name    string
+		freshNs int64
+		fresh   []StreamBenchRow
+		want    []string
+	}{
+		{
+			name:    "within tolerance",
+			freshNs: 2_000_000,
+			fresh: []StreamBenchRow{
+				{Subscribers: 1, EngineNs: 2_400_000},  // ratio 1.20 vs ceiling 1.485
+				{Subscribers: 64, EngineNs: 3_800_000}, // ratio 1.90 vs ceiling 2.025
+			},
+		},
+		{
+			name:    "overhead blowup",
+			freshNs: 2_000_000,
+			fresh:   []StreamBenchRow{{Subscribers: 64, EngineNs: 9_000_000}}, // ratio 4.5
+			want:    []string{"64 subscriber(s)", "4.500"},
+		},
+		{
+			name:    "unmeasurable baseline",
+			freshNs: 0,
+			fresh:   []StreamBenchRow{{Subscribers: 1, EngineNs: 1}},
+			want:    []string{"cannot compare"},
+		},
+		{
+			name:    "fan-out absent from baseline is ignored",
+			freshNs: 1_000_000,
+			fresh:   []StreamBenchRow{{Subscribers: 4096, EngineNs: 99_000_000}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			issues := compareStream(streamBaseline(), tc.freshNs, tc.fresh, 0.35)
+			assertIssues(t, issues, tc.want)
+		})
+	}
+}
+
+func assertIssues(t *testing.T, issues, want []string) {
+	t.Helper()
+	if len(want) == 0 {
+		if len(issues) != 0 {
+			t.Fatalf("unexpected issues: %v", issues)
+		}
+		return
+	}
+	if len(issues) == 0 {
+		t.Fatalf("no issues; want one mentioning %v", want)
+	}
+	joined := strings.Join(issues, "\n")
+	for _, w := range want {
+		if !strings.Contains(joined, w) {
+			t.Errorf("issues %q missing %q", joined, w)
+		}
+	}
+}

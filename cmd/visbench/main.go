@@ -31,12 +31,23 @@ func main() {
 		visBench   = flag.String("bench-visibility", "", "measure the visibility kernel against the per-Look baseline, write the JSON report to this path ('-' = stdout), and exit")
 		visWorkers = flag.Int("kernel-workers", 0, "worker count for the bench-visibility parallel kernel column (0 = numCPU)")
 		strBench   = flag.String("bench-stream", "", "measure stream-hub fan-out overhead on the hot engine path, write the JSON report to this path ('-' = stdout), and exit")
+		checkBase  = flag.Bool("check-baseline", false, "re-measure a CI-sized subset and compare against the checked-in benchmark baselines; exit 1 on regression, skip (exit 0) on a core-count mismatch")
+		baseVis    = flag.String("baseline-visibility", "BENCH_visibility.json", "visibility baseline for -check-baseline")
+		baseStream = flag.String("baseline-stream", "BENCH_stream.json", "stream baseline for -check-baseline")
+		baseTol    = flag.Float64("baseline-tolerance", 0.35, "allowed relative regression for -check-baseline ratios")
 		showVer    = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
 	if *showVer {
 		fmt.Println(version.String())
 		return
+	}
+	if *checkBase {
+		if *baseTol <= 0 || *baseTol >= 1 {
+			fmt.Fprintf(os.Stderr, "visbench: -baseline-tolerance %v is not in (0, 1)\n", *baseTol)
+			os.Exit(2)
+		}
+		os.Exit(runCheckBaseline(*baseVis, *baseStream, *baseTol, os.Stdout))
 	}
 	if *visBench != "" {
 		out := os.Stdout

@@ -3,17 +3,18 @@
 // but the standard library, computes per-function cross-package
 // summaries, and runs the internal/lint analyzer suite — floateq,
 // palette, mutexdiscipline, ctxcancel, locksafe, atomicmix, errsink,
-// wireformat, arenaalias, ctxflow, detsource — each of which protects
-// one of the paper's invariants at build time (see DESIGN.md, "Static
-// invariants"). It prints findings as file:line:col with severity and
-// explanation, and exits 1 when any error-severity finding survives
-// the //lint:allow directives.
+// wireformat, arenaalias, ctxflow, detsource, goleak, lockorder,
+// chanown — each of which protects one of the paper's invariants at
+// build time (see DESIGN.md, "Static invariants"). It prints findings
+// as file:line:col with severity and explanation, and exits 1 when any
+// error-severity finding survives the //lint:allow directives.
 //
 // Usage:
 //
 //	go run ./cmd/vislint ./...
 //	go run ./cmd/vislint -list
-//	go run ./cmd/vislint -run floateq,detsource ./internal/sim
+//	go run ./cmd/vislint -analyzers goleak,lockorder ./internal/stream
+//	go run ./cmd/vislint -diff origin/main ./...  # PR-scoped reporting
 //	go run ./cmd/vislint -format=sarif ./... > vislint.sarif
 //	go run ./cmd/vislint -format=github ./...   # CI annotations
 //
@@ -48,7 +49,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vislint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
-	runNames := fs.String("run", "", "comma-separated analyzer subset (default: all)")
+	analyzerNames := fs.String("analyzers", "", "comma-separated analyzer subset (default: all; see -list)")
+	runNames := fs.String("run", "", "alias for -analyzers (kept for existing invocations)")
+	diffRef := fs.String("diff", "", "report only findings on lines changed since this git ref (analysis still covers the whole module)")
 	quiet := fs.Bool("q", false, "print only the summary line")
 	format := fs.String("format", "text", "output format: text, github (Actions annotations) or sarif (SARIF 2.1.0)")
 	noCache := fs.Bool("no-cache", false, "bypass the result cache for this run")
@@ -99,9 +102,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	sel := *analyzerNames
+	if sel == "" {
+		sel = *runNames
+	}
 	var names []string
-	if *runNames != "" {
-		names = strings.Split(*runNames, ",")
+	if sel != "" {
+		names = strings.Split(sel, ",")
 	}
 	analyzers, err := lint.ByName(names...)
 	if err != nil {
@@ -146,6 +153,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var findings []lint.Finding
 	for _, p := range selected {
 		findings = append(findings, p.Findings...)
+	}
+
+	if *diffRef != "" {
+		// Reporting narrows to the lines changed since the ref; the
+		// analysis above still covered the whole module, so cross-file
+		// consequences of the change are reported where they land.
+		changed, err := lint.ChangedLines(root, *diffRef)
+		if err != nil {
+			fmt.Fprintln(stderr, "vislint:", err)
+			return 2
+		}
+		findings = lint.FilterChanged(findings, root, changed)
 	}
 
 	errs := 0

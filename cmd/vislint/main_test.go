@@ -5,7 +5,71 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"luxvis/internal/lint"
 )
+
+// TestAnalyzerSelection: a bad -analyzers= value must fail loudly
+// (exit 2, known names listed) before any analysis runs — silently
+// running a partial or empty set is a false green gate. All cases here
+// error during flag/selection handling, so no module load happens and
+// the table stays fast.
+func TestAnalyzerSelection(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantOut []string // substrings that must appear on stderr
+	}{
+		{
+			name:    "unknown name",
+			args:    []string{"-analyzers=nosuch"},
+			wantOut: []string{`unknown analyzer "nosuch"`, "goleak", "lockorder", "chanown", "floateq"},
+		},
+		{
+			name:    "unknown name via -run alias",
+			args:    []string{"-run=nosuch"},
+			wantOut: []string{`unknown analyzer "nosuch"`, "known:"},
+		},
+		{
+			name:    "typo among valid names",
+			args:    []string{"-analyzers=goleak,lockordr"},
+			wantOut: []string{`unknown analyzer "lockordr"`, "lockorder"},
+		},
+		{
+			name:    "empty element from trailing comma",
+			args:    []string{"-analyzers=goleak,"},
+			wantOut: []string{`unknown analyzer ""`},
+		},
+		{
+			name:    "superseded name points at successor",
+			args:    []string{"-analyzers=nondet"},
+			wantOut: []string{"superseded", "detsource"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("run(%v) = %d; want 2\nstderr: %s", tc.args, code, stderr.String())
+			}
+			for _, want := range tc.wantOut {
+				if !strings.Contains(stderr.String(), want) {
+					t.Errorf("stderr = %q; missing %q", stderr.String(), want)
+				}
+			}
+		})
+	}
+
+	// The error message's "known:" list tracks lint.All exactly, so a
+	// future analyzer cannot be silently missing from the help text.
+	var stdout, stderr strings.Builder
+	run([]string{"-analyzers=nosuch"}, &stdout, &stderr)
+	for _, name := range lint.Names() {
+		if !strings.Contains(stderr.String(), name) {
+			t.Errorf("unknown-analyzer message %q does not list %q", stderr.String(), name)
+		}
+	}
+}
 
 // TestClearCache: -clear-cache must succeed in every cache state —
 // including on a machine that has never run vislint (no cache

@@ -14,7 +14,10 @@ import (
 // analyzer's semantics change. Bump it in the same commit as the
 // behavior change. v3: cross-package module analysis (nondet →
 // detsource, arenaalias, ctxflow, summary-aware locksafe/wireformat).
-const cacheVersion = "vislint-cache-3"
+// v4: concurrency-soundness summary facts (goleak/lockorder/chanown).
+// A variable, not a const, solely so the schema-bump invalidation test
+// can simulate the next bump without editing this file.
+var cacheVersion = "vislint-cache-4"
 
 // toolchainVersion feeds the cache key. It is a variable, not a call,
 // solely so the invalidation tests can simulate a toolchain upgrade

@@ -193,6 +193,39 @@ func TestCacheToolchainInvalidation(t *testing.T) {
 	}
 }
 
+// TestCacheSchemaBumpInvalidation: bumping cacheVersion — the
+// summary-schema stamp that every analyzer-semantics change must move
+// in the same commit — flushes warm entries. This is what makes adding
+// a fact to FuncSummary (as the concurrency pass did for v4) safe
+// against a cache populated by the previous binary.
+func TestCacheSchemaBumpInvalidation(t *testing.T) {
+	root := writeCacheModule(t)
+	cache, err := lint.NewCacheAt(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewCacheAt: %v", err)
+	}
+	lintCacheModule(t, root, cache) // populate under the current schema
+
+	warm := lintCacheModule(t, root, cache)
+	if warm.CacheHits != 2 || warm.CacheMisses != 0 {
+		t.Fatalf("same schema: %d hits, %d misses; want 2, 0", warm.CacheHits, warm.CacheMisses)
+	}
+
+	restore := lint.SetCacheVersion("vislint-cache-next")
+	defer restore()
+	bumped := lintCacheModule(t, root, cache)
+	if bumped.CacheHits != 0 || bumped.CacheMisses != 2 {
+		t.Fatalf("after schema bump: %d hits, %d misses; want 0, 2", bumped.CacheHits, bumped.CacheMisses)
+	}
+
+	// The old schema's entries are still intact under their own key.
+	restore()
+	back := lintCacheModule(t, root, cache)
+	if back.CacheHits != 2 || back.CacheMisses != 0 {
+		t.Fatalf("back on old schema: %d hits, %d misses; want 2, 0", back.CacheHits, back.CacheMisses)
+	}
+}
+
 // TestCacheAnalyzerSetInvalidation: results are keyed by the analyzer
 // set, so `vislint -run floateq` must never serve (or poison) entries
 // produced by a full-suite run, and vice versa.

@@ -1,0 +1,143 @@
+package lint_test
+
+import (
+	"testing"
+
+	"luxvis/internal/lint"
+)
+
+// TestChanOwnIntra: the three chanown rules inside one package —
+// send racing another frame's close, double close, and a send-capable
+// return of a closed channel — plus the shapes that must stay silent.
+func TestChanOwnIntra(t *testing.T) {
+	src := `package stream
+
+type box struct {
+	work chan int      // sent by worker, closed by Close: rule 1
+	dup  chan struct{} // closed by two frames: rule 2
+}
+
+func (b *box) worker() {
+	b.work <- 1 // want
+}
+
+func (b *box) Close() {
+	close(b.work)
+}
+
+func (b *box) closeA() {
+	close(b.dup) // want
+}
+
+func (b *box) closeB() {
+	close(b.dup) // want
+}
+
+// oneOwner sends and closes in the same frame: program order
+// serializes them, no finding.
+func oneOwner() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// makeDone returns a channel it closed with send capability intact:
+// rule 3.
+func makeDone() chan struct{} {
+	done := make(chan struct{})
+	close(done)
+	return done // want
+}
+
+// makeDoneOK returns the receive-only view: no caller can send.
+func makeDoneOK() <-chan struct{} {
+	done := make(chan struct{})
+	close(done)
+	return done
+}
+
+// allowed: the same send/close split as worker/Close, with the
+// happens-before proof annotated.
+type guarded struct{ q chan int }
+
+func (g *guarded) submit() {
+	g.q <- 1 //lint:allow chanown fixture: send and close serialized by a mutex
+}
+
+func (g *guarded) stop() {
+	close(g.q)
+}
+`
+	specs := []pkgSpec{{"luxvis/internal/stream", "stream_chanown_fix.go", src}}
+	runModuleFixture(t, specs, lint.ChanOwn{}, "stream_chanown_fix.go", src)
+}
+
+// TestChanOwnGoroutineFrames: a `go` statement is a frame boundary, so
+// a goroutine sending on a channel its spawner closes is the race; an
+// inline literal (called immediately) is the spawner's own frame and
+// stays silent.
+func TestChanOwnGoroutineFrames(t *testing.T) {
+	src := `package stream
+
+func fanOut() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want
+	}()
+	close(ch)
+}
+
+func inlineOK() {
+	ch := make(chan int, 1)
+	func() {
+		ch <- 1
+	}()
+	close(ch)
+}
+`
+	specs := []pkgSpec{{"luxvis/internal/stream", "stream_chanframes_fix.go", src}}
+	runModuleFixture(t, specs, lint.ChanOwn{}, "stream_chanframes_fix.go", src)
+}
+
+// TestChanOwnCrossPackage: stream owns (and closes) the Hub's channel;
+// serve sends on it. Only the module sees both halves — the
+// intra-package run has no record of stream's close and must stay
+// silent.
+func TestChanOwnCrossPackage(t *testing.T) {
+	streamSrc := `package stream
+
+type Hub struct{ In chan int }
+
+func (h *Hub) Release() {
+	close(h.In)
+}
+`
+	serveSrc := `package serve
+
+import "luxvis/internal/stream"
+
+func push(h *stream.Hub) {
+	h.In <- 1 // want
+}
+`
+	specs := []pkgSpec{
+		{"luxvis/internal/stream", "stream_hub_fix.go", streamSrc},
+		{"luxvis/internal/serve", "serve_push_fix.go", serveSrc},
+	}
+	runModuleFixture(t, specs, lint.ChanOwn{}, "serve_push_fix.go", serveSrc)
+	assertIntraSilent(t, specs, lint.ChanOwn{}, "serve_push_fix.go")
+}
+
+// TestChanOwnOutOfScope: the same race outside the concurrency-bearing
+// packages is not chanown's business.
+func TestChanOwnOutOfScope(t *testing.T) {
+	src := `package geom
+
+type box struct{ ch chan int }
+
+func (b *box) send()  { b.ch <- 1 }
+func (b *box) close_() { close(b.ch) }
+`
+	specs := []pkgSpec{{"luxvis/internal/geom", "geom_chanown_fix.go", src}}
+	runModuleFixture(t, specs, lint.ChanOwn{}, "geom_chanown_fix.go", src)
+}

@@ -1,0 +1,160 @@
+package lint
+
+// Diff-scoped reporting for `vislint -diff=REF`: the whole module is
+// still type-checked, summarized and analyzed (a one-line edit can
+// surface a lock-order cycle whose other half is ten packages away),
+// but only findings on lines the ref no longer matches are *reported*.
+// That is the contract CI wants for PR annotation — complain about the
+// PR's own lines, gate on them, stay quiet about pre-existing debt.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LineSet is the set of changed lines of one file. A file that is new
+// (or renamed) since the ref is changed in full.
+type LineSet struct {
+	all    bool
+	ranges [][2]int // inclusive [start, end], sorted, non-overlapping
+}
+
+// Contains reports whether line is in the set.
+func (s *LineSet) Contains(line int) bool {
+	if s.all {
+		return true
+	}
+	i := sort.Search(len(s.ranges), func(i int) bool { return s.ranges[i][1] >= line })
+	return i < len(s.ranges) && s.ranges[i][0] <= line
+}
+
+// add appends a range; ranges arrive in ascending order from the diff.
+func (s *LineSet) add(start, end int) {
+	s.ranges = append(s.ranges, [2]int{start, end})
+}
+
+// ParseUnifiedDiff extracts per-file changed-line sets from a unified
+// diff (git diff --unified=0 output). Paths are the post-image ("+++ b/")
+// names, slash-separated and repo-relative; deletions (post-image
+// /dev/null) and pure-removal hunks (+start,0) contribute nothing —
+// a finding cannot sit on a line that no longer exists.
+func ParseUnifiedDiff(r io.Reader) (map[string]*LineSet, error) {
+	changed := make(map[string]*LineSet)
+	var cur *LineSet
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "+++ "):
+			name := strings.TrimPrefix(line, "+++ ")
+			if i := strings.IndexByte(name, '\t'); i >= 0 {
+				name = name[:i] // git appends a tab + mode on some paths
+			}
+			if name == "/dev/null" {
+				cur = nil
+				continue
+			}
+			name = strings.TrimPrefix(name, "b/")
+			cur = changed[name]
+			if cur == nil {
+				cur = &LineSet{}
+				changed[name] = cur
+			}
+		case strings.HasPrefix(line, "@@ ") && cur != nil:
+			// @@ -a,b +c,d @@ — with --unified=0 the +c,d span is exactly
+			// the added/modified lines. d omitted means 1; d==0 is a pure
+			// deletion at position c.
+			fields := strings.Fields(line)
+			var plus string
+			for _, f := range fields[1:] {
+				if strings.HasPrefix(f, "+") {
+					plus = strings.TrimPrefix(f, "+")
+					break
+				}
+			}
+			if plus == "" {
+				continue
+			}
+			start, count := plus, 1
+			if i := strings.IndexByte(plus, ','); i >= 0 {
+				start = plus[:i]
+				n, err := strconv.Atoi(plus[i+1:])
+				if err != nil {
+					return nil, fmt.Errorf("lint: malformed hunk header %q", line)
+				}
+				count = n
+			}
+			s, err := strconv.Atoi(start)
+			if err != nil {
+				return nil, fmt.Errorf("lint: malformed hunk header %q", line)
+			}
+			if count > 0 {
+				cur.add(s, s+count-1)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return changed, nil
+}
+
+// ChangedLines asks git for the lines changed in the working tree since
+// ref, keyed by slash-separated module-root-relative path. Untracked
+// files count as changed in full — they are exactly the PR's new code.
+func ChangedLines(root, ref string) (map[string]*LineSet, error) {
+	diff := exec.Command("git", "-C", root, "diff", "--unified=0", "--no-color", ref)
+	out, err := diff.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	var diffErr strings.Builder
+	diff.Stderr = &diffErr
+	if err := diff.Start(); err != nil {
+		return nil, fmt.Errorf("lint: git diff: %w", err)
+	}
+	changed, parseErr := ParseUnifiedDiff(out)
+	if err := diff.Wait(); err != nil {
+		msg := strings.TrimSpace(diffErr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("lint: git diff %s: %s", ref, msg)
+	}
+	if parseErr != nil {
+		return nil, parseErr
+	}
+
+	untracked := exec.Command("git", "-C", root, "ls-files", "--others", "--exclude-standard")
+	raw, err := untracked.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: git ls-files: %w", err)
+	}
+	for _, name := range strings.Fields(string(raw)) {
+		changed[name] = &LineSet{all: true}
+	}
+	return changed, nil
+}
+
+// FilterChanged keeps the findings whose position falls on a changed
+// line. Finding paths are absolute; changed is keyed root-relative.
+func FilterChanged(findings []Finding, root string, changed map[string]*LineSet) []Finding {
+	var keep []Finding
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			continue
+		}
+		if s := changed[filepath.ToSlash(rel)]; s != nil && s.Contains(f.Pos.Line) {
+			keep = append(keep, f)
+		}
+	}
+	return keep
+}

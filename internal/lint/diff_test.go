@@ -1,0 +1,111 @@
+package lint_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"luxvis/internal/lint"
+)
+
+const sampleDiff = `diff --git a/internal/sim/sim.go b/internal/sim/sim.go
+index 1111111..2222222 100644
+--- a/internal/sim/sim.go
++++ b/internal/sim/sim.go
+@@ -10,0 +11,3 @@ func Run() {
++	a := 1
++	b := 2
++	_ = a + b
+@@ -40 +43 @@ func helper() {
+-	old := 0
++	new := 0
+@@ -50,2 +52,0 @@ func gone() {
+-	x := 1
+-	y := 2
+diff --git a/internal/old/dead.go b/internal/old/dead.go
+deleted file mode 100644
+index 3333333..0000000
+--- a/internal/old/dead.go
++++ /dev/null
+@@ -1,5 +0,0 @@
+-package old
+diff --git a/internal/geom/geom.go b/internal/geom/geom.go
+index 4444444..5555555 100644
+--- a/internal/geom/geom.go
++++ b/internal/geom/geom.go
+@@ -7 +7,2 @@ import (
++	"math"
++	"sort"
+`
+
+func TestParseUnifiedDiff(t *testing.T) {
+	changed, err := lint.ParseUnifiedDiff(strings.NewReader(sampleDiff))
+	if err != nil {
+		t.Fatalf("ParseUnifiedDiff: %v", err)
+	}
+	if _, ok := changed["internal/old/dead.go"]; ok {
+		t.Error("deleted file present in changed set; a finding cannot sit on a removed file")
+	}
+	cases := []struct {
+		file string
+		line int
+		want bool
+	}{
+		{"internal/sim/sim.go", 10, false},
+		{"internal/sim/sim.go", 11, true},
+		{"internal/sim/sim.go", 13, true},
+		{"internal/sim/sim.go", 14, false},
+		{"internal/sim/sim.go", 43, true}, // count omitted means 1
+		{"internal/sim/sim.go", 44, false},
+		{"internal/sim/sim.go", 52, false}, // pure deletion: no post-image lines
+		{"internal/geom/geom.go", 7, true},
+		{"internal/geom/geom.go", 8, true},
+		{"internal/geom/geom.go", 9, false},
+		{"internal/lint/lint.go", 1, false}, // untouched file
+	}
+	for _, c := range cases {
+		s := changed[c.file]
+		got := s != nil && s.Contains(c.line)
+		if got != c.want {
+			t.Errorf("%s:%d changed = %v; want %v", c.file, c.line, got, c.want)
+		}
+	}
+}
+
+func TestParseUnifiedDiffMalformed(t *testing.T) {
+	bad := "+++ b/x.go\n@@ -1,2 +abc,def @@\n"
+	if _, err := lint.ParseUnifiedDiff(strings.NewReader(bad)); err == nil {
+		t.Fatal("malformed hunk header parsed without error")
+	}
+}
+
+func TestFilterChanged(t *testing.T) {
+	root := filepath.FromSlash("/repo")
+	mk := func(rel string, line int) lint.Finding {
+		return lint.Finding{
+			Analyzer: "goleak",
+			Pos:      token.Position{Filename: filepath.Join(root, filepath.FromSlash(rel)), Line: line},
+		}
+	}
+	changed := map[string]*lint.LineSet{}
+	var err error
+	changed, err = lint.ParseUnifiedDiff(strings.NewReader(sampleDiff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []lint.Finding{
+		mk("internal/sim/sim.go", 12),   // on a changed line: kept
+		mk("internal/sim/sim.go", 99),   // same file, untouched line: dropped
+		mk("internal/geom/geom.go", 7),  // kept
+		mk("internal/lint/lint.go", 1),  // untouched file: dropped
+		{Analyzer: "goleak", Pos: token.Position{Filename: filepath.FromSlash("/elsewhere/x.go"), Line: 1}}, // outside root: dropped
+	}
+	got := lint.FilterChanged(in, root, changed)
+	if len(got) != 2 {
+		t.Fatalf("FilterChanged kept %d findings; want 2:\n%s", len(got), render(got))
+	}
+	if got[0].Pos.Line != 12 || got[1].Pos.Line != 7 {
+		t.Errorf("FilterChanged kept lines %d, %d; want 12, 7", got[0].Pos.Line, got[1].Pos.Line)
+	}
+}

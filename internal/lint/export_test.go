@@ -8,3 +8,12 @@ func SetToolchainVersion(v string) (restore func()) {
 	toolchainVersion = func() string { return v }
 	return func() { toolchainVersion = old }
 }
+
+// SetCacheVersion overrides the summary-schema version component of the
+// cache key, returning a restore function. The invalidation tests use
+// it to prove a schema bump flushes warm entries.
+func SetCacheVersion(v string) (restore func()) {
+	old := cacheVersion
+	cacheVersion = v
+	return func() { cacheVersion = old }
+}

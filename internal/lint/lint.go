@@ -152,7 +152,20 @@ func All() []Analyzer {
 		ArenaAlias{},
 		CtxFlow{},
 		DetSource{},
+		GoLeak{},
+		LockOrder{},
+		ChanOwn{},
 	}
+}
+
+// Names returns the analyzer names of All, in canonical order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, a := range all {
+		out[i] = a.Name()
+	}
+	return out
 }
 
 // ByName resolves a subset of All by analyzer name.
@@ -175,7 +188,7 @@ func ByName(names ...string) ([]Analyzer, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+			return nil, fmt.Errorf("lint: unknown analyzer %q (known: %s)", n, strings.Join(Names(), ", "))
 		}
 	}
 	return out, nil

@@ -112,15 +112,23 @@ func findingsOf(fs []lint.Finding, analyzer string) []lint.Finding {
 
 func TestByName(t *testing.T) {
 	all, err := lint.ByName()
-	if err != nil || len(all) != 11 {
-		t.Fatalf("ByName() = %d analyzers, err %v; want 11, nil", len(all), err)
+	if err != nil || len(all) != 14 {
+		t.Fatalf("ByName() = %d analyzers, err %v; want 14, nil", len(all), err)
 	}
 	sub, err := lint.ByName("floateq", "detsource")
 	if err != nil || len(sub) != 2 {
 		t.Fatalf("ByName(floateq, detsource) = %v, %v", sub, err)
 	}
+	// An unknown name errors and the message lists every known analyzer,
+	// so a typo in -analyzers= is self-correcting at the terminal.
 	if _, err := lint.ByName("nosuch"); err == nil {
 		t.Fatal("ByName(nosuch) succeeded; want error")
+	} else {
+		for _, name := range lint.Names() {
+			if !strings.Contains(err.Error(), name) {
+				t.Fatalf("ByName(nosuch) err = %v; does not list known analyzer %q", err, name)
+			}
+		}
 	}
 	// The retired name gets a pointer to its successor, not a generic
 	// unknown-analyzer error.

@@ -24,6 +24,15 @@ type Module struct {
 	byPath map[string]*Package
 	owner  map[*types.Func]*Package
 	sums   map[*types.Func]*FuncSummary
+
+	// chans holds each package's own channel send/close sites;
+	// closedScope widens a package's view of closes to its transitive
+	// module dependencies (never its dependents — cache correctness).
+	chans       map[*Package]*chanFacts
+	closedScope map[*Package]map[types.Object][]chanSite
+	// lockEdges holds each package's lock-order edges, derived after
+	// its Acquires summaries close. Consumed by lockorder.
+	lockEdges map[*Package][]lockEdge
 }
 
 // FuncSummary is one declared function's exported analysis facts.
@@ -55,6 +64,21 @@ type FuncSummary struct {
 	// CtxParam is the index of the first context.Context parameter, or
 	// -1. Consumed by ctxflow.
 	CtxParam int
+	// LeakRisk is non-nil when calling the function can block forever
+	// or loop without bound (a channel op with no close in scope, a
+	// select without default, a sync.Cond wait, a for{} loop), with a
+	// witness chain. Consumed by goleak.
+	LeakRisk *Reach
+	// TermEvidence is non-nil when the function can reach goroutine
+	// termination evidence — a ctx.Done() or module-closed-channel
+	// receive, a ctx.Err() poll, a sync.WaitGroup join — with a witness
+	// chain. Consumed by goleak: risk without evidence is a leak.
+	TermEvidence *Reach
+	// Acquires maps canonical named-mutex keys ("pkgpath.Type.field" or
+	// "pkgpath.var") the function can, directly or transitively, lock
+	// to a witness whose Desc is the mutex's display name. Consumed by
+	// lockorder.
+	Acquires map[string]*Reach
 }
 
 // NewModule indexes and summarizes pkgs. The packages must share one
@@ -62,9 +86,12 @@ type FuncSummary struct {
 // each other), which is how LoadModule and CheckSource build them.
 func NewModule(pkgs []*Package) *Module {
 	m := &Module{
-		byPath: make(map[string]*Package, len(pkgs)),
-		owner:  make(map[*types.Func]*Package),
-		sums:   make(map[*types.Func]*FuncSummary),
+		byPath:      make(map[string]*Package, len(pkgs)),
+		owner:       make(map[*types.Func]*Package),
+		sums:        make(map[*types.Func]*FuncSummary),
+		chans:       make(map[*Package]*chanFacts),
+		closedScope: make(map[*Package]map[types.Object][]chanSite),
+		lockEdges:   make(map[*Package][]lockEdge),
 	}
 	for _, p := range pkgs {
 		m.byPath[p.Path] = p
@@ -79,6 +106,23 @@ func NewModule(pkgs []*Package) *Module {
 				ArenaReturn: isArenaRoot(fn),
 			}
 		}
+	}
+	// Channel facts before summaries: a summary's closed-channel
+	// evidence consults the package's dependency-closed scope.
+	for _, p := range m.pkgs {
+		m.chans[p] = collectChanFacts(p)
+	}
+	for _, p := range m.pkgs {
+		scope := make(map[types.Object][]chanSite)
+		for _, d := range m.depClosure(p) {
+			for obj, sites := range m.chans[d].closes {
+				scope[obj] = append(scope[obj], sites...)
+			}
+		}
+		for obj, sites := range m.chans[p].closes {
+			scope[obj] = append(scope[obj], sites...)
+		}
+		m.closedScope[p] = scope
 	}
 	for _, p := range m.pkgs {
 		m.summarize(p)
@@ -144,6 +188,23 @@ func (m *Module) summarize(p *Package) {
 	lockDirect := make(map[*types.Func]Reach)
 	blockDirect := make(map[*types.Func]Reach)
 	nondetDirect := make(map[*types.Func]Reach)
+	leakDirect := make(map[*types.Func]Reach)
+	termDirect := make(map[*types.Func]Reach)
+	// Acquisition facts are per mutex key: one direct map (and one
+	// propagation) per named mutex the package touches. acqKeys keeps
+	// first-appearance order for deterministic processing.
+	acqDirect := make(map[string]map[*types.Func]Reach)
+	var acqKeys []string
+	noteAcq := func(key string, fn *types.Func, r Reach) {
+		mm := acqDirect[key]
+		if mm == nil {
+			mm = make(map[*types.Func]Reach)
+			acqDirect[key] = mm
+			acqKeys = append(acqKeys, key)
+		}
+		mergeDirect(mm, fn, r)
+	}
+	closed := m.closedScope[p]
 	for _, fn := range g.Funcs() {
 		body := g.Decl(fn).Body
 
@@ -172,6 +233,22 @@ func (m *Module) summarize(p *Package) {
 			nondetDirect[fn] = Reach{Desc: op.desc, Pos: op.pos}
 		}
 
+		// Goroutine-termination facts: outer frame only, like the lock
+		// facts — a stored closure's ops run on another frame's clock.
+		risk, ev := collectLeakOps(p, closed, body)
+		if risk != nil {
+			leakDirect[fn] = Reach{Desc: risk.desc, Pos: risk.pos}
+		}
+		if ev != nil {
+			termDirect[fn] = Reach{Desc: ev.desc, Pos: ev.pos}
+		}
+
+		// Named-mutex acquisitions: outer frame (a spawned goroutine's
+		// acquisition does not nest under the caller's held locks).
+		for _, acq := range lockAcquisitions(p, body) {
+			noteAcq(acq.key, fn, Reach{Desc: acq.disp, Pos: acq.pos})
+		}
+
 		// Cross-package call facts, earliest call site first.
 		for _, e := range m.crossPackageCalls(p, body) {
 			s := m.sums[e.Callee]
@@ -194,6 +271,25 @@ func (m *Module) summarize(p *Package) {
 					Via: append([]string{name}, s.Nondet.Via...),
 				})
 			}
+			if s.LeakRisk != nil {
+				mergeDirect(leakDirect, fn, Reach{
+					Desc: s.LeakRisk.Desc, Pos: e.Pos,
+					Via: append([]string{name}, s.LeakRisk.Via...),
+				})
+			}
+			if s.TermEvidence != nil {
+				mergeDirect(termDirect, fn, Reach{
+					Desc: s.TermEvidence.Desc, Pos: e.Pos,
+					Via: append([]string{name}, s.TermEvidence.Via...),
+				})
+			}
+			for _, key := range sortedReachKeys(s.Acquires) {
+				r := s.Acquires[key]
+				noteAcq(key, fn, Reach{
+					Desc: r.Desc, Pos: e.Pos,
+					Via: append([]string{name}, r.Via...),
+				})
+			}
 		}
 	}
 
@@ -201,11 +297,29 @@ func (m *Module) summarize(p *Package) {
 	lockReach := g.Propagate(lockDirect)
 	blockReach := g.Propagate(blockDirect)
 	nondetReach := g.Propagate(nondetDirect)
+	leakReach := g.Propagate(leakDirect)
+	termReach := g.Propagate(termDirect)
 	for _, fn := range g.Funcs() {
 		s := m.sums[fn]
 		s.LockUnsafe = lockReach[fn]
 		s.Blocks = blockReach[fn]
 		s.Nondet = nondetReach[fn]
+		s.LeakRisk = leakReach[fn]
+		s.TermEvidence = termReach[fn]
+	}
+	for _, key := range acqKeys {
+		reach := g.Propagate(acqDirect[key])
+		for _, fn := range g.Funcs() {
+			r := reach[fn]
+			if r == nil {
+				continue
+			}
+			s := m.sums[fn]
+			if s.Acquires == nil {
+				s.Acquires = make(map[string]*Reach)
+			}
+			s.Acquires[key] = r
+		}
 	}
 
 	// Pass 3: arena-return fixpoint — does the function return a value
@@ -228,6 +342,12 @@ func (m *Module) summarize(p *Package) {
 	// parameter that reaches json.Marshal — or another wrapper's sink
 	// parameter, in this or any dependency package — is itself a sink.
 	m.computeSinkParams(p)
+
+	// Pass 5: lock-order edges. Needs the package's own Acquires (pass
+	// 2) and its dependencies' (previous summarize calls); the allowed
+	// flag is resolved here, at the owning package, so dependents see
+	// which edges a //lint:allow lockorder has stopped.
+	m.lockEdges[p] = collectLockEdges(p, m, dirs)
 }
 
 // mergeDirect records r as fn's direct fact if it is the first, or

@@ -249,6 +249,14 @@ func robotLoop(ctx context.Context, w *world, algo model.Algorithm, id int, rng 
 	}
 	myCycles := 0
 	for {
+		// Explicit cancellation poll at the top of every cycle. nap()
+		// also exits on ctx.Done, but that select lives inside a stored
+		// closure where neither a reader skimming the loop nor the
+		// goleak analyzer can see it; this check keeps the loop's exit
+		// path on its own first line.
+		if ctx.Err() != nil {
+			return
+		}
 		if hasCrash && myCycles >= crashAfter {
 			// Crash fault: halt forever at a cycle boundary, frozen with
 			// the position and light already published. The monitor sees

@@ -187,7 +187,9 @@ func (s *Server) submit(j *job) error {
 		return errClosed
 	}
 	select {
-	case s.queue <- j:
+	// The send can never race Close's close(s.queue): both run under
+	// s.mu, and the closed flag checked above flips before the close.
+	case s.queue <- j: //lint:allow chanown send and close are serialized by s.mu via the closed flag
 		return nil
 	default:
 		return errFull

@@ -82,6 +82,16 @@ func (sr *streamRun) status() (state string, summary *RunSummary, runErr error) 
 
 // streamRegistry tracks streamable runs by id: the in-flight ones plus a
 // bounded tail of completed ones retained for replay-from-cache.
+//
+// Retention and goroutine-lifecycle contract (the dynamic half of what
+// the goleak analyzer proves statically): the registry owns no
+// goroutines and closes no channels — each run's engine goroutine is
+// the runner's, exits via its context or run end, and its hub is
+// closed by RunEnd before completed() is called. Eviction is therefore
+// pure bookkeeping: Release (idempotent) returns the evicted hub's
+// ring accounting, while subscribers mid-drain on it still finish —
+// a closed hub serves retained history to io.EOF, so forgetting a run
+// can never park a consumer goroutine forever.
 type streamRegistry struct {
 	retain int
 

@@ -83,6 +83,18 @@ const (
 )
 
 // HubOptions configures a Hub. The zero value is usable.
+//
+// Goroutine-lifecycle contract (checked statically by the goleak
+// analyzer, pinned dynamically by the lifecycle tests): the hub itself
+// starts no goroutines — publish is a ring write plus a non-blocking
+// notify, on the caller's stack. Every goroutine a *consumer* parks in
+// Subscriber.Next is released by one of exactly three events: a frame
+// arrival, the hub's Close (closeCh wakes every parked subscriber,
+// after which Next drains buffers and returns io.EOF), or its own
+// ctx. So a subscriber goroutine leaks only if its context never
+// cancels AND the hub is never closed; hold one of those edges and
+// termination is guaranteed. Close and Release are idempotent, and
+// Subscribe after Close is legal (it serves retained history to EOF).
 type HubOptions struct {
 	// History is the hub-side retained-frame ring capacity (default
 	// DefaultHistory). Resume reaches at most this far back; a finished

@@ -65,6 +65,12 @@ func (d *Decoder) Next() (Event, error) {
 	if err := json.Unmarshal(line, &e); err != nil {
 		return Event{}, fmt.Errorf("trace: decoding event: %w", err)
 	}
+	// An "epoch" record exists only to carry its stamp (every real
+	// emitter numbers epochs from 1); a zero stamp means the line was
+	// produced by something that is not a trace writer.
+	if e.Kind == "epoch" && e.Epoch == 0 {
+		return Event{}, fmt.Errorf("trace: epoch mark missing its epoch stamp")
+	}
 	return e, nil
 }
 
@@ -85,6 +91,11 @@ func (d *Decoder) nextLine() ([]byte, error) {
 		return line, nil
 	}
 	if err := d.sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			// Name the bound instead of leaking the scanner's message: the
+			// caller's next question is "how big is too big".
+			return nil, fmt.Errorf("trace: record exceeds %d bytes (corrupt or oversized line)", MaxLineBytes)
+		}
 		return nil, err
 	}
 	return nil, io.EOF

@@ -133,6 +133,86 @@ func TestDecoderSkipsBlankAndUnknown(t *testing.T) {
 	}
 }
 
+const decoderTestHeader = `{"kind":"header","algorithm":"a","scheduler":"s","n":1,"seed":1,"epochs":0,"events":0,"reached":false}`
+
+// TestDecoderMalformedInput pins the exact error text of the decoder's
+// malformed-stream edges. The texts are contract: visreplay and the
+// live-stream relay surface them verbatim to users staring at a
+// truncated download or a log file that was never a trace.
+func TestDecoderMalformedInput(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr string
+	}{
+		{
+			name: "truncated final line",
+			// The stream ends mid-record, as a cut-off download does; the
+			// scanner still yields the partial token, and the JSON error
+			// names the truncation.
+			in:      decoderTestHeader + "\n" + `{"kind":"look","event":0,"rob`,
+			wantErr: "trace: decoding event: unexpected end of JSON input",
+		},
+		{
+			name:    "missing epoch stamp",
+			in:      decoderTestHeader + "\n" + `{"kind":"epoch","cv":true}` + "\n",
+			wantErr: "trace: epoch mark missing its epoch stamp",
+		},
+		{
+			name:    "oversized record",
+			in:      decoderTestHeader + "\n" + `{"kind":"look","event":0,"pad":"` + strings.Repeat("x", trace.MaxLineBytes) + `"}` + "\n",
+			wantErr: "trace: record exceeds 1048576 bytes (corrupt or oversized line)",
+		},
+		{
+			name:    "interleaved garbage line",
+			in:      decoderTestHeader + "\n" + `{"kind":"look","event":0,"robot":0,"x":1,"y":2,"color":"off"}` + "\ngarbage here\n",
+			wantErr: "trace: decoding event: invalid character 'g' looking for beginning of value",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dec, err := trace.NewDecoder(strings.NewReader(tc.in))
+			if err != nil {
+				t.Fatalf("NewDecoder: %v", err)
+			}
+			for {
+				_, err = dec.Next()
+				if err != nil {
+					break
+				}
+			}
+			if err == io.EOF {
+				t.Fatalf("stream decoded clean; want error %q", tc.wantErr)
+			}
+			if err.Error() != tc.wantErr {
+				t.Fatalf("error = %q; want %q", err.Error(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// FuzzDecoder: the decoder must return errors, never panic or hang, on
+// arbitrary byte streams. The seed corpus (here and in testdata/fuzz)
+// covers each pinned malformed edge: truncated record, stampless epoch
+// mark, oversized line, interleaved garbage.
+func FuzzDecoder(f *testing.F) {
+	f.Add([]byte(decoderTestHeader + "\n" + `{"kind":"look","event":0,"rob`))
+	f.Add([]byte(decoderTestHeader + "\n" + `{"kind":"epoch","cv":true}` + "\n"))
+	f.Add([]byte(decoderTestHeader + "\n" + `{"kind":"look","pad":"` + strings.Repeat("x", trace.MaxLineBytes) + `"}` + "\n"))
+	f.Add([]byte(decoderTestHeader + "\n" + `{"kind":"look","event":0}` + "\ngarbage here\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := trace.NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := dec.Next(); err != nil {
+				return
+			}
+		}
+	})
+}
+
 // TestDecoderErrors pins the failure modes: empty stream, missing
 // header, corrupt line.
 func TestDecoderErrors(t *testing.T) {
